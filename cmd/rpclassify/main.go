@@ -1,0 +1,152 @@
+// Command rpclassify runs the complete embedded classification pipeline on
+// a WFDB record: morphological filtering, wavelet peak detection, beat
+// windowing, downsampling, 2-bit packed random projection and the integer
+// neuro-fuzzy classifier. When the record carries annotations, it reports
+// NDR/ARR against them.
+//
+// Usage:
+//
+//	rpclassify -db ./db -record 100 -model model.json
+//	rpclassify -db ./db -record 119 -model model.bin -alpha 0.02 -v
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rpbeat/internal/core"
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/fixp"
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/peak"
+	"rpbeat/internal/sigdsp"
+	"rpbeat/internal/wfdb"
+)
+
+func loadModel(path string) (*core.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte("RPBT")) {
+		return core.ReadBinary(bytes.NewReader(data))
+	}
+	var m core.Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func main() {
+	var (
+		db      = flag.String("db", "db", "database directory (rpgen output)")
+		record  = flag.String("record", "100", "record name")
+		model   = flag.String("model", "model.json", "trained model (json or binary)")
+		alpha   = flag.Float64("alpha", -1, "override alpha_test (-1 = use alpha_train)")
+		verbose = flag.Bool("v", false, "print every beat decision")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("rpclassify: ")
+
+	m, err := loadModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emb, err := m.Quantize(fixp.MFLinear)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *alpha >= 0 {
+		emb.AlphaTest = fixp.AlphaToQ15(*alpha)
+	}
+
+	rec, err := wfdb.Load(*db, *record)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("record %s: %d signals, %.0f Hz, %.0f s, %d annotations\n",
+		rec.Name, len(rec.Signals), rec.Fs, float64(len(rec.Signals[0]))/rec.Fs, len(rec.Ann))
+
+	// Front end on lead 0: filter, detect peaks.
+	mv := make([]float64, len(rec.Signals[0]))
+	for i, v := range rec.Signals[0] {
+		mv[i] = float64(v-rec.ADCZero) / rec.Gain
+	}
+	filtered := sigdsp.FilterECG(mv, sigdsp.DefaultBaselineConfig(rec.Fs))
+	peaks := peak.Detect(filtered, peak.Config{Fs: rec.Fs})
+	fmt.Printf("peak detector: %d beats found\n", len(peaks))
+
+	// Classification per detected beat (integer pipeline on raw ADC counts).
+	before, after := 100, 100
+	var decided []nfc.Decision
+	abnormal := 0
+	for _, p := range peaks {
+		w := sigdsp.WindowInt(rec.Signals[0], p, before, after)
+		w = sigdsp.DownsampleInt(w, emb.Downsample)
+		d := emb.Classify(w)
+		decided = append(decided, d)
+		if d.Abnormal() {
+			abnormal++
+		}
+		if *verbose {
+			fmt.Printf("beat @%7d  ->  %s\n", p, d)
+		}
+	}
+	fmt.Printf("classified: %d beats, %d flagged abnormal (%.1f%%)\n",
+		len(decided), abnormal, 100*float64(abnormal)/float64(max(1, len(decided))))
+
+	if len(rec.Ann) == 0 {
+		return
+	}
+	// Score against annotations: match detections to annotated beats.
+	tol := int(0.05 * rec.Fs)
+	var normalsTotal, normalsDiscarded, abTotal, abRecognized int
+	for _, a := range rec.Ann {
+		// Find the detection matching this annotation.
+		match := -1
+		for i, p := range peaks {
+			if p >= a.Sample-tol && p <= a.Sample+tol {
+				match = i
+				break
+			}
+		}
+		isNormal := a.Code == wfdb.CodeNormal
+		if isNormal {
+			normalsTotal++
+		} else {
+			abTotal++
+		}
+		if match < 0 {
+			// Missed beats are never discarded; a missed abnormal is a miss.
+			continue
+		}
+		if isNormal && decided[match] == nfc.DecideN {
+			normalsDiscarded++
+		}
+		if !isNormal && decided[match].Abnormal() {
+			abRecognized++
+		}
+	}
+	if normalsTotal > 0 {
+		fmt.Printf("NDR %.2f%% (%d/%d normals discarded)\n",
+			100*float64(normalsDiscarded)/float64(normalsTotal), normalsDiscarded, normalsTotal)
+	}
+	if abTotal > 0 {
+		fmt.Printf("ARR %.2f%% (%d/%d abnormals recognized)\n",
+			100*float64(abRecognized)/float64(abTotal), abRecognized, abTotal)
+	}
+	_ = ecgsyn.Fs
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+// Command rpdelineate runs 3-lead MMD delineation over a WFDB record and
+// prints the fiducial points of every beat (onset/peak/end of the P, QRS and
+// T waves), the "detailed analysis" the RP classifier gates on the node.
+//
+// Usage:
+//
+//	rpdelineate -db ./db -record 100
+//	rpdelineate -db ./db -record 207 -limit 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rpbeat/internal/delin"
+	"rpbeat/internal/peak"
+	"rpbeat/internal/sigdsp"
+	"rpbeat/internal/wfdb"
+)
+
+func main() {
+	var (
+		db     = flag.String("db", "db", "database directory (rpgen output)")
+		record = flag.String("record", "100", "record name")
+		limit  = flag.Int("limit", 20, "print at most this many beats (0 = all)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("rpdelineate: ")
+
+	rec, err := wfdb.Load(*db, *record)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sigdsp.DefaultBaselineConfig(rec.Fs)
+	leads := make([][]float64, 0, len(rec.Signals))
+	for _, sig := range rec.Signals {
+		mv := make([]float64, len(sig))
+		for i, v := range sig {
+			mv[i] = float64(v-rec.ADCZero) / rec.Gain
+		}
+		leads = append(leads, sigdsp.FilterECG(mv, cfg))
+	}
+
+	peaks := peak.Detect(leads[0], peak.Config{Fs: rec.Fs})
+	fids := delin.DelineateMultiLead(leads, peaks, delin.Config{Fs: rec.Fs})
+	fmt.Printf("record %s: %d beats delineated (%d leads)\n", rec.Name, len(fids), len(leads))
+
+	fmtPoint := func(v int) string {
+		if v < 0 {
+			return "     -"
+		}
+		return fmt.Sprintf("%6d", v)
+	}
+	fmt.Println("beat    POn  PPeak   POff  QRSOn  RPeak QRSOff    TOn  TPeak   TOff  found")
+	for i, f := range fids {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more beats)\n", len(fids)-i)
+			break
+		}
+		fmt.Printf("%4d %s %s %s %s %s %s %s %s %s   %d/9\n",
+			i,
+			fmtPoint(f.POn), fmtPoint(f.PPeak), fmtPoint(f.POff),
+			fmtPoint(f.QRSOn), fmtPoint(f.RPeak), fmtPoint(f.QRSOff),
+			fmtPoint(f.TOn), fmtPoint(f.TPeak), fmtPoint(f.TOff),
+			f.Count())
+	}
+
+	// Aggregate statistics.
+	var pFound, tFound, qrsComplete int
+	var qrsDurSum float64
+	var qrsDurN int
+	for _, f := range fids {
+		if f.PPeak >= 0 {
+			pFound++
+		}
+		if f.TPeak >= 0 {
+			tFound++
+		}
+		if f.QRSOn >= 0 && f.QRSOff > f.QRSOn {
+			qrsComplete++
+			qrsDurSum += float64(f.QRSOff-f.QRSOn) / rec.Fs * 1000
+			qrsDurN++
+		}
+	}
+	n := len(fids)
+	if n > 0 {
+		fmt.Printf("\nP wave found: %.1f%%, T wave: %.1f%%, complete QRS: %.1f%%\n",
+			100*float64(pFound)/float64(n), 100*float64(tFound)/float64(n), 100*float64(qrsComplete)/float64(n))
+	}
+	if qrsDurN > 0 {
+		fmt.Printf("mean QRS duration: %.0f ms\n", qrsDurSum/float64(qrsDurN))
+	}
+}

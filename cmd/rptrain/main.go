@@ -1,0 +1,87 @@
+// Command rptrain runs the paper's two-step training methodology (GA over
+// Achlioptas projection matrices x SCG-trained neuro-fuzzy classifiers) on
+// the synthetic database and saves the resulting model.
+//
+// Usage:
+//
+//	rptrain -o model.json                       # paper settings, full data
+//	rptrain -o model.bin -format binary -k 8 -downsample 4
+//	rptrain -o m.json -scale 0.1 -pop 8 -gen 10 # quick run on reduced data
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rpbeat/internal/beatset"
+	"rpbeat/internal/core"
+)
+
+func main() {
+	var (
+		out        = flag.String("o", "model.json", "output model path")
+		format     = flag.String("format", "json", "model format: json or binary")
+		k          = flag.Int("k", 8, "number of projected coefficients")
+		downsample = flag.Int("downsample", 4, "input downsampling factor (1 = 360 Hz, 4 = 90 Hz)")
+		pop        = flag.Int("pop", 20, "GA population (paper: 20)")
+		gen        = flag.Int("gen", 30, "GA generations (paper: 30)")
+		minARR     = flag.Float64("minarr", 0.97, "minimum ARR constraint for alpha_train")
+		scale      = flag.Float64("scale", 1, "dataset scale (1 = full Table I composition)")
+		seed       = flag.Uint64("seed", 42, "training seed")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("rptrain: ")
+
+	start := time.Now()
+	fmt.Printf("building dataset (scale %.2f)...\n", *scale)
+	ds, err := beatset.Build(beatset.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := ds.CountByClass(ds.Train1)
+	t2 := ds.CountByClass(ds.Train2)
+	fmt.Printf("dataset: %d beats; train1 %v, train2 %v\n", len(ds.Beats), t1, t2)
+
+	fmt.Printf("training: k=%d downsample=%d GA %dx%d...\n", *k, *downsample, *pop, *gen)
+	m, stats, err := core.Train(ds, core.Config{
+		Coeffs:      *k,
+		Downsample:  *downsample,
+		PopSize:     *pop,
+		Generations: *gen,
+		MinARR:      *minARR,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GA: %d fitness evaluations, best NDR on train2 = %.2f%% (ARR >= %.0f%%)\n",
+		stats.FitnessEvals, 100*stats.BestFitness, 100**minARR)
+	fmt.Printf("alpha_train = %.6f; train2 operating point NDR %.2f%% ARR %.2f%%\n",
+		stats.AlphaTrain, 100*stats.Train2Point.NDR, 100*stats.Train2Point.ARR)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(m); err != nil {
+			log.Fatal(err)
+		}
+	case "binary":
+		if err := m.WriteBinary(f); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown format %q (json|binary)", *format)
+	}
+	fmt.Printf("model written to %s (%.1fs total)\n", *out, time.Since(start).Seconds())
+}

@@ -1,0 +1,210 @@
+package beatset
+
+import (
+	"testing"
+
+	"rpbeat/internal/ecgsyn"
+)
+
+func TestInventoryMatchesTableI(t *testing.T) {
+	var n, l, v int
+	inv := Inventory()
+	if len(inv) != 48 {
+		t.Fatalf("inventory has %d records, want 48 (as MIT-BIH)", len(inv))
+	}
+	for _, p := range inv {
+		n += p.N
+		l += p.L
+		v += p.V
+	}
+	if n != TestN || l != TestL || v != TestV {
+		t.Fatalf("inventory totals N=%d L=%d V=%d, want %d/%d/%d", n, l, v, TestN, TestL, TestV)
+	}
+}
+
+func TestInventoryLBBBStructure(t *testing.T) {
+	lbbb := map[string]bool{"109": true, "111": true, "207": true, "214": true}
+	for _, p := range Inventory() {
+		if lbbb[p.Name] {
+			if p.L == 0 || p.N != 0 {
+				t.Fatalf("LBBB record %s: N=%d L=%d", p.Name, p.N, p.L)
+			}
+		} else if p.L != 0 {
+			t.Fatalf("non-LBBB record %s carries L beats", p.Name)
+		}
+	}
+}
+
+func buildSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Build(Config{Seed: 1, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildSmallValid(t *testing.T) {
+	ds := buildSmall(t)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Test) != len(ds.Beats) {
+		t.Fatal("test set must cover the whole database")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := buildSmall(t)
+	b := buildSmall(t)
+	if len(a.Beats) != len(b.Beats) {
+		t.Fatalf("beat counts differ: %d vs %d", len(a.Beats), len(b.Beats))
+	}
+	for i := range a.Beats {
+		if a.Beats[i].Class != b.Beats[i].Class || a.Beats[i].Record != b.Beats[i].Record {
+			t.Fatalf("beat %d metadata differs", i)
+		}
+		for j := range a.Beats[i].Samples {
+			if a.Beats[i].Samples[j] != b.Beats[i].Samples[j] {
+				t.Fatalf("beat %d sample %d differs", i, j)
+			}
+		}
+	}
+	for i := range a.Train1 {
+		if a.Train1[i] != b.Train1[i] {
+			t.Fatal("train1 split differs")
+		}
+	}
+}
+
+func TestBuildSeedChangesData(t *testing.T) {
+	a, err := Build(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{Seed: 2, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a.Beats[0].Samples {
+		if a.Beats[0].Samples[j] != b.Beats[0].Samples[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical first beat")
+	}
+}
+
+func TestSplitComposition(t *testing.T) {
+	ds := buildSmall(t)
+	t1 := ds.CountByClass(ds.Train1)
+	// Scale 0.02: ceil(150*0.02) = 3 per class.
+	for cl, n := range t1 {
+		if n != 3 {
+			t.Fatalf("train1 class %d has %d beats, want 3", cl, n)
+		}
+	}
+	t2 := ds.CountByClass(ds.Train2)
+	if t2[ecgsyn.ClassN] != 201 || t2[ecgsyn.ClassL] != 22 || t2[ecgsyn.ClassV] != 18 {
+		t.Fatalf("train2 composition %v, want [201 22 18] at scale 0.02", t2)
+	}
+}
+
+func TestWindowAccessors(t *testing.T) {
+	ds := buildSmall(t)
+	fw := ds.FloatWindow(0, 1)
+	iw := ds.IntWindow(0, 1)
+	if len(fw) != 200 || len(iw) != 200 {
+		t.Fatalf("window lengths %d/%d, want 200", len(fw), len(iw))
+	}
+	for i := range fw {
+		if fw[i] != float64(iw[i]) {
+			t.Fatalf("float/int window mismatch at %d", i)
+		}
+	}
+	fw4 := ds.FloatWindow(0, 4)
+	if len(fw4) != 50 {
+		t.Fatalf("downsampled window length %d, want 50", len(fw4))
+	}
+	for i := range fw4 {
+		if fw4[i] != fw[i*4] {
+			t.Fatalf("downsample mismatch at %d", i)
+		}
+	}
+	if ds.Dim(1) != 200 || ds.Dim(4) != 50 {
+		t.Fatalf("Dim: %d/%d", ds.Dim(1), ds.Dim(4))
+	}
+}
+
+func TestLabels(t *testing.T) {
+	ds := buildSmall(t)
+	labels := ds.Labels(ds.Train1)
+	counts := [3]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	if counts[0] != 3 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("label counts %v", counts)
+	}
+}
+
+func TestADCRange(t *testing.T) {
+	ds := buildSmall(t)
+	for i, b := range ds.Beats {
+		for j, s := range b.Samples {
+			if s < 0 || s > ecgsyn.ADCMax {
+				t.Fatalf("beat %d sample %d = %d outside ADC range", i, j, s)
+			}
+		}
+	}
+}
+
+func TestRecordDiversity(t *testing.T) {
+	ds := buildSmall(t)
+	records := map[string]bool{}
+	for _, b := range ds.Beats {
+		records[b.Record] = true
+	}
+	if len(records) != 48 {
+		t.Fatalf("beats from %d records, want 48", len(records))
+	}
+}
+
+func TestFullScaleComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset build in -short mode")
+	}
+	ds, err := Build(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	test := ds.CountByClass(ds.Test)
+	if test[ecgsyn.ClassN] != TestN || test[ecgsyn.ClassL] != TestL || test[ecgsyn.ClassV] != TestV {
+		t.Fatalf("test composition %v, want [%d %d %d]", test, TestN, TestL, TestV)
+	}
+	t1 := ds.CountByClass(ds.Train1)
+	if t1 != [3]int{150, 150, 150} {
+		t.Fatalf("train1 composition %v", t1)
+	}
+	t2 := ds.CountByClass(ds.Train2)
+	if t2[ecgsyn.ClassN] != Train2N || t2[ecgsyn.ClassL] != Train2L || t2[ecgsyn.ClassV] != Train2V {
+		t.Fatalf("train2 composition %v", t2)
+	}
+	if len(ds.Test) != 89012 {
+		t.Fatalf("test set size %d, want 89012", len(ds.Test))
+	}
+}
+
+func BenchmarkBuildScale2Percent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(Config{Seed: 1, Scale: 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

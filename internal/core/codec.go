@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/rp"
+)
+
+// modelJSON is the on-disk JSON form of a trained model. The projection is
+// stored as a flat row-major array of -1/0/+1 values.
+type modelJSON struct {
+	Format     string    `json:"format"`
+	K          int       `json:"k"`
+	D          int       `json:"d"`
+	Downsample int       `json:"downsample"`
+	AlphaTrain float64   `json:"alpha_train"`
+	MinARR     float64   `json:"min_arr"`
+	P          []int8    `json:"projection"`
+	Centers    []float64 `json:"centers"`
+	Sigmas     []float64 `json:"sigmas"`
+}
+
+const jsonFormat = "rpbeat-model-v1"
+
+// MarshalJSON implements json.Marshaler for Model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(modelJSON{
+		Format:     jsonFormat,
+		K:          m.K,
+		D:          m.D,
+		Downsample: m.Downsample,
+		AlphaTrain: m.AlphaTrain,
+		MinARR:     m.MinARR,
+		P:          m.P.El,
+		Centers:    m.MF.C,
+		Sigmas:     m.MF.Sigma,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Model.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var j modelJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Format != jsonFormat {
+		return fmt.Errorf("core: unknown model format %q", j.Format)
+	}
+	m.K, m.D, m.Downsample = j.K, j.D, j.Downsample
+	m.AlphaTrain, m.MinARR = j.AlphaTrain, j.MinARR
+	m.P = &rp.Matrix{K: j.K, D: j.D, El: j.P}
+	m.MF = &nfc.Params{K: j.K, C: j.Centers, Sigma: j.Sigmas}
+	return m.Validate()
+}
+
+// Binary model format:
+//
+//	magic   [4]byte "RPBT"
+//	version uint16 (1)
+//	k, d, downsample uint16
+//	alphaTrain, minARR float64
+//	packed projection: ceil(k*d/4) bytes (2-bit codes, rp.Pack layout)
+//	centers, sigmas: k*3 float64 each
+//
+// All integers little-endian. The binary form is what a deployment tool
+// would flash to the node (the packed matrix bytes are the exact ROM image).
+var binMagic = [4]byte{'R', 'P', 'B', 'T'}
+
+const binVersion = 1
+
+// WriteBinary serializes the model in the compact binary format.
+func (m *Model) WriteBinary(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.K > math.MaxUint16 || m.D > math.MaxUint16 || m.Downsample > math.MaxUint16 {
+		return errors.New("core: dimensions exceed binary format range")
+	}
+	var buf bytes.Buffer
+	buf.Write(binMagic[:])
+	le := binary.LittleEndian
+	var u16 [2]byte
+	put16 := func(v uint16) {
+		le.PutUint16(u16[:], v)
+		buf.Write(u16[:])
+	}
+	put16(binVersion)
+	put16(uint16(m.K))
+	put16(uint16(m.D))
+	put16(uint16(m.Downsample))
+	var u64 [8]byte
+	putF := func(v float64) {
+		le.PutUint64(u64[:], math.Float64bits(v))
+		buf.Write(u64[:])
+	}
+	putF(m.AlphaTrain)
+	putF(m.MinARR)
+	buf.Write(rp.Pack(m.P).Bits)
+	for _, v := range m.MF.C {
+		putF(v)
+	}
+	for _, v := range m.MF.Sigma {
+		putF(v)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadBinary deserializes a model written by WriteBinary.
+func ReadBinary(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4+2*4+2*8 {
+		return nil, errors.New("core: binary model truncated")
+	}
+	if !bytes.Equal(data[:4], binMagic[:]) {
+		return nil, errors.New("core: bad magic (not an rpbeat model)")
+	}
+	le := binary.LittleEndian
+	off := 4
+	get16 := func() int {
+		v := int(le.Uint16(data[off:]))
+		off += 2
+		return v
+	}
+	version := get16()
+	if version != binVersion {
+		return nil, fmt.Errorf("core: unsupported binary version %d", version)
+	}
+	k, d, down := get16(), get16(), get16()
+	if k == 0 || d == 0 {
+		return nil, errors.New("core: zero dimensions in binary model")
+	}
+	getF := func() float64 {
+		v := math.Float64frombits(le.Uint64(data[off:]))
+		off += 8
+		return v
+	}
+	alphaTrain := getF()
+	minARR := getF()
+	packedLen := (k*d + 3) / 4
+	need := off + packedLen + 2*k*nfc.NumClasses*8
+	if len(data) < need {
+		return nil, fmt.Errorf("core: binary model truncated (%d bytes, need %d)", len(data), need)
+	}
+	packed := &rp.PackedMatrix{K: k, D: d, Bits: data[off : off+packedLen]}
+	off += packedLen
+	P, err := packed.Unpack()
+	if err != nil {
+		return nil, err
+	}
+	mf := nfc.NewParams(k)
+	for i := range mf.C {
+		mf.C[i] = getF()
+	}
+	for i := range mf.Sigma {
+		mf.Sigma[i] = getF()
+	}
+	m := &Model{K: k, D: d, Downsample: down, P: P, MF: mf, AlphaTrain: alphaTrain, MinARR: minARR}
+	return m, m.Validate()
+}

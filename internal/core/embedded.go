@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rpbeat/internal/beatset"
+	"rpbeat/internal/fixp"
+	"rpbeat/internal/metrics"
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/rp"
+)
+
+// Embedded is the WBSN-ready classifier produced from a trained Model:
+// the 2-bit packed projection matrix, the quantized membership functions
+// and the Q15 defuzzification coefficient. Everything it executes at
+// classification time is integer arithmetic.
+type Embedded struct {
+	K, D       int
+	Downsample int
+	P          *rp.PackedMatrix
+	Cls        *fixp.Classifier
+	// AlphaTest is the run-time defuzzification coefficient. It starts as
+	// the quantized α_train but can be retuned independently (Sec. III-B:
+	// "it is possible to tune the defuzzification coefficient α_test
+	// independently of the α_train chosen during the training phase").
+	AlphaTest fixp.AlphaQ15
+}
+
+// Quantize converts the model for embedded execution with the given
+// membership shape (MFLinear for deployment; MFTriangular and MFGaussianRef
+// exist for the Figure 4/5 comparisons).
+func (m *Model) Quantize(kind fixp.MFKind) (*Embedded, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cls, err := fixp.Quantize(m.MF, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedded{
+		K:          m.K,
+		D:          m.D,
+		Downsample: m.Downsample,
+		P:          rp.Pack(m.P),
+		Cls:        cls,
+		AlphaTest:  fixp.AlphaToQ15(m.AlphaTrain),
+	}, nil
+}
+
+// Validate checks structural consistency.
+func (e *Embedded) Validate() error {
+	if e.P == nil || e.Cls == nil {
+		return errors.New("core: embedded model missing projection or classifier")
+	}
+	if err := e.Cls.Validate(); err != nil {
+		return err
+	}
+	if e.P.K != e.K || e.Cls.K != e.K || e.P.D != e.D {
+		return fmt.Errorf("core: embedded dimensions inconsistent (K=%d D=%d, P %dx%d, cls K=%d)",
+			e.K, e.D, e.P.K, e.P.D, e.Cls.K)
+	}
+	return nil
+}
+
+// Classify runs the integer pipeline on one beat window of int32 ADC counts
+// (already downsampled to length D).
+func (e *Embedded) Classify(window []int32) nfc.Decision {
+	u := e.P.ProjectInt(window)
+	return e.Cls.Classify(u, e.AlphaTest)
+}
+
+// Evaluate runs the integer pipeline over the indexed beats, returning
+// per-beat fuzzy values (converted to float64 for the shared metrics
+// machinery; ratios are what matters and they carry over exactly).
+func (e *Embedded) Evaluate(ds *beatset.Dataset, idx []int) []metrics.Eval {
+	labels := ds.Labels(idx)
+	evals := make([]metrics.Eval, len(idx))
+	u := make([]int32, e.K)
+	grades := make([]uint16, e.K*fixp.NumClasses)
+	for i, b := range idx {
+		w := ds.IntWindow(b, e.Downsample)
+		e.P.ProjectIntInto(w, u)
+		fv := e.Cls.FuzzyValues(u, grades)
+		evals[i] = metrics.Eval{
+			Label: labels[i],
+			F: [nfc.NumClasses]float64{
+				float64(fv[0]), float64(fv[1]), float64(fv[2]),
+			},
+		}
+	}
+	return evals
+}
+
+// MemoryBytes reports the data footprint the node must hold: the packed
+// projection matrix plus the MF parameter tables.
+func (e *Embedded) MemoryBytes() int {
+	return e.P.ByteSize() + e.Cls.TableBytes()
+}

@@ -1,0 +1,240 @@
+// Package delin implements ECG wave delineation with multiscale
+// morphological derivatives (MMD), the "detailed analysis" stage the
+// RP-classifier gates on the WBSN (sub-system (2) of the paper, after
+// Rincon et al., IEEE TITB 2011).
+//
+// The MMD transform (see sigdsp.MMD) responds positively at concave corners
+// of the signal — wave onsets and ends — and strongly negatively at convex
+// peaks, so fiducial points are located as MMD extrema inside physiologically
+// bounded search windows around each detected R peak. Three-lead delineation
+// fuses the filtered leads into a root-sum-square envelope before applying
+// the transform, which makes boundaries visible even when a wave projects
+// weakly on one lead.
+package delin
+
+import (
+	"math"
+
+	"rpbeat/internal/sigdsp"
+)
+
+// Fiducials are the delineation outputs for one beat: nine fiducial points
+// (3 waves × onset/peak/end), as sample indices, or -1 when the wave was not
+// found (e.g. no P wave before a ventricular beat).
+type Fiducials struct {
+	POn, PPeak, POff     int
+	QRSOn, RPeak, QRSOff int
+	TOn, TPeak, TOff     int
+}
+
+// Count returns how many of the nine fiducial points were found.
+func (f *Fiducials) Count() int {
+	n := 0
+	for _, v := range []int{f.POn, f.PPeak, f.POff, f.QRSOn, f.RPeak, f.QRSOff, f.TOn, f.TPeak, f.TOff} {
+		if v >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Config bounds the search windows. Zero values take defaults suitable for
+// adult ECG at any sampling rate (windows are expressed in seconds).
+type Config struct {
+	Fs float64 // sampling frequency; default 360
+
+	QRSScaleSec float64 // MMD scale for QRS corners; default 0.028
+	PTScaleSec  float64 // MMD scale for P/T corners; default 0.055
+
+	QRSPreSec  float64 // QRS onset search before R; default 0.13
+	QRSPostSec float64 // QRS end search after R; default 0.17
+	PWinSec    float64 // P search window before QRS onset; default 0.24
+	TWinSec    float64 // T search window after QRS end; default 0.38
+
+	// PMinAmp is the minimum P-wave prominence (in signal units) for the
+	// wave to be reported; default 0.05 (mV when fed millivolt signals).
+	PMinAmp float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fs <= 0 {
+		c.Fs = 360
+	}
+	if c.QRSScaleSec <= 0 {
+		c.QRSScaleSec = 0.028
+	}
+	if c.PTScaleSec <= 0 {
+		c.PTScaleSec = 0.055
+	}
+	if c.QRSPreSec <= 0 {
+		c.QRSPreSec = 0.13
+	}
+	if c.QRSPostSec <= 0 {
+		c.QRSPostSec = 0.17
+	}
+	if c.PWinSec <= 0 {
+		c.PWinSec = 0.24
+	}
+	if c.TWinSec <= 0 {
+		c.TWinSec = 0.38
+	}
+	if c.PMinAmp <= 0 {
+		c.PMinAmp = 0.05
+	}
+	return c
+}
+
+// DelineateLead delineates every beat of one filtered (baseline-free) lead
+// given the detected R-peak positions. The lead is rectified first so that
+// inverted waves (discordant T in LBBB/PVC beats, Q/S deflections) present
+// the same corner geometry as upright ones: onsets/ends are concave corners
+// (MMD maxima) and wave apexes convex peaks (MMD minima) of the envelope.
+func DelineateLead(x []float64, rPeaks []int, cfg Config) []Fiducials {
+	env := make([]float64, len(x))
+	for i, v := range x {
+		env[i] = math.Abs(v)
+	}
+	return delineate(env, rPeaks, cfg)
+}
+
+// DelineateMultiLead fuses the filtered leads (root sum of squares, which
+// rectifies and combines wave energy across projections) and delineates the
+// fused envelope. This is the 3-lead configuration of sub-system (2).
+func DelineateMultiLead(leads [][]float64, rPeaks []int, cfg Config) []Fiducials {
+	if len(leads) == 0 {
+		return nil
+	}
+	n := len(leads[0])
+	fused := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for _, l := range leads {
+			s += l[i] * l[i]
+		}
+		fused[i] = math.Sqrt(s)
+	}
+	return delineate(fused, rPeaks, cfg)
+}
+
+func delineate(x []float64, rPeaks []int, cfg Config) []Fiducials {
+	c := cfg.withDefaults()
+	qrsScale := int(c.QRSScaleSec * c.Fs)
+	ptScale := int(c.PTScaleSec * c.Fs)
+	mmdQRS := sigdsp.MMD(x, qrsScale)
+	mmdPT := sigdsp.MMD(x, ptScale)
+
+	out := make([]Fiducials, len(rPeaks))
+	for i, r := range rPeaks {
+		out[i] = delineateBeat(x, mmdQRS, mmdPT, r, c)
+	}
+	return out
+}
+
+func delineateBeat(x, mmdQRS, mmdPT []float64, r int, c Config) Fiducials {
+	f := Fiducials{POn: -1, PPeak: -1, POff: -1, QRSOn: -1, RPeak: r, QRSOff: -1, TOn: -1, TPeak: -1, TOff: -1}
+	n := len(x)
+	if r < 0 || r >= n {
+		f.RPeak = -1
+		return f
+	}
+	sec := func(s float64) int { return int(s * c.Fs) }
+
+	// QRS onset: the strongest concave corner (MMD maximum) before R.
+	lo, hi := r-sec(c.QRSPreSec), r-sec(0.012)
+	f.QRSOn = argmaxRange(mmdQRS, lo, hi)
+	// QRS end: the strongest corner after R.
+	lo, hi = r+sec(0.012), r+sec(c.QRSPostSec)
+	f.QRSOff = argmaxRange(mmdQRS, lo, hi)
+
+	// T wave: search after QRS end.
+	if f.QRSOff >= 0 {
+		tLo := f.QRSOff + sec(0.04)
+		tHi := f.QRSOff + sec(c.TWinSec)
+		if tHi > n {
+			tHi = n
+		}
+		// T peak: strongest convex extremum (most negative MMD).
+		f.TPeak = argminRange(mmdPT, tLo, tHi)
+		if f.TPeak >= 0 {
+			f.TOn = argmaxRange(mmdPT, tLo, f.TPeak-sec(0.01))
+			f.TOff = argmaxRange(mmdPT, f.TPeak+sec(0.01), tHi+sec(0.08))
+			if f.TOn < 0 || f.TOff < 0 {
+				f.TOn, f.TPeak, f.TOff = -1, -1, -1
+			}
+		}
+	}
+
+	// P wave: search before QRS onset; may be absent (PVC).
+	if f.QRSOn >= 0 {
+		pLo := f.QRSOn - sec(c.PWinSec)
+		pHi := f.QRSOn - sec(0.015)
+		pPeak := argminRange(mmdPT, pLo, pHi)
+		if pPeak >= 0 {
+			// Prominence test against the local envelope baseline.
+			base := math.Min(valueAt(x, pLo), valueAt(x, pHi))
+			if x[pPeak]-base >= c.PMinAmp {
+				f.PPeak = pPeak
+				f.POn = argmaxRange(mmdPT, pLo-sec(0.06), pPeak-sec(0.01))
+				f.POff = argmaxRange(mmdPT, pPeak+sec(0.01), pHi+sec(0.02))
+				if f.POn < 0 || f.POff < 0 {
+					f.POn, f.PPeak, f.POff = -1, -1, -1
+				}
+			}
+		}
+	}
+	return f
+}
+
+func valueAt(x []float64, i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(x) {
+		i = len(x) - 1
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return x[i]
+}
+
+// argmaxRange returns the index of the maximum of v on [lo, hi), clipped to
+// the signal, or -1 for an empty window.
+func argmaxRange(v []float64, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(v) {
+		hi = len(v)
+	}
+	if hi <= lo {
+		return -1
+	}
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// argminRange is argmaxRange for the minimum.
+func argminRange(v []float64, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(v) {
+		hi = len(v)
+	}
+	if hi <= lo {
+		return -1
+	}
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	return best
+}

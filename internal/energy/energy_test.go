@@ -1,0 +1,137 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPayloadConstants(t *testing.T) {
+	if FullBeatBytes != 18 || PeakOnlyBytes != 2 {
+		t.Fatalf("payloads %d/%d, want 18/2", FullBeatBytes, PeakOnlyBytes)
+	}
+}
+
+func TestTrafficBytes(t *testing.T) {
+	tr := TrafficCounts{NormalDiscarded: 100, FullReports: 25}
+	r := RadioModel{JoulePerByte: 1}
+	if tr.Total() != 125 {
+		t.Fatalf("total %d", tr.Total())
+	}
+	if got := tr.BaselineBytes(r); got != 125*18 {
+		t.Fatalf("baseline bytes %d", got)
+	}
+	if got := tr.GatedBytes(r); got != 100*2+25*18 {
+		t.Fatalf("gated bytes %d", got)
+	}
+	// Overhead applies per beat in both policies.
+	r.PacketOverheadBytes = 4
+	if got := tr.BaselineBytes(r); got != 125*22 {
+		t.Fatalf("baseline bytes with overhead %d", got)
+	}
+	if got := tr.GatedBytes(r); got != 100*6+25*22 {
+		t.Fatalf("gated bytes with overhead %d", got)
+	}
+}
+
+func TestAnalyzePaperRegime(t *testing.T) {
+	// Test-set-like composition: 83.5% normals of which ~92.5% discarded;
+	// the rest ship full fiducials. Expected radio saving ~68%.
+	total := 89012
+	normals := 74355
+	discarded := int(0.925 * float64(normals))
+	tr := TrafficCounts{
+		NormalDiscarded: discarded,
+		FullReports:     total - discarded,
+	}
+	rep, err := Analyze(Params{
+		Traffic:       tr,
+		StreamSeconds: 74176, // ~20.6 h of signal at 1.2 beats/s
+		DutyGated:     0.24,
+		DutyAlwaysOn:  0.64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RadioReduction < 0.60 || rep.RadioReduction > 0.75 {
+		t.Fatalf("radio reduction %.3f, want ~0.68", rep.RadioReduction)
+	}
+	if rep.ComputeReduction < 0.55 || rep.ComputeReduction > 0.70 {
+		t.Fatalf("compute reduction %.3f, want ~0.63", rep.ComputeReduction)
+	}
+	if rep.TotalReduction < 0.18 || rep.TotalReduction > 0.28 {
+		t.Fatalf("total reduction %.3f, want ~0.23", rep.TotalReduction)
+	}
+}
+
+func TestAnalyzeConsistency(t *testing.T) {
+	tr := TrafficCounts{NormalDiscarded: 1000, FullReports: 200}
+	rep, err := Analyze(Params{
+		Traffic:       tr,
+		StreamSeconds: 1000,
+		DutyGated:     0.2,
+		DutyAlwaysOn:  0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reductions must match the absolute energies.
+	if math.Abs(rep.RadioReduction-(1-rep.RadioGatedJ/rep.RadioBaselineJ)) > 1e-12 {
+		t.Fatal("radio reduction inconsistent with energies")
+	}
+	if math.Abs(rep.ComputeReduction-(1-rep.ComputeGatedJ/rep.ComputeBaselineJ)) > 1e-12 {
+		t.Fatal("compute reduction inconsistent with energies")
+	}
+	if math.Abs(rep.ComputeReduction-0.6) > 1e-12 {
+		t.Fatalf("compute reduction %v, want 0.6", rep.ComputeReduction)
+	}
+}
+
+func TestAnalyzeNoDiscards(t *testing.T) {
+	// A broken classifier that discards nothing saves no radio energy.
+	tr := TrafficCounts{NormalDiscarded: 0, FullReports: 100}
+	rep, err := Analyze(Params{Traffic: tr, StreamSeconds: 100, DutyGated: 0.5, DutyAlwaysOn: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RadioReduction != 0 || rep.ComputeReduction != 0 || rep.TotalReduction != 0 {
+		t.Fatalf("expected zero savings: %+v", rep)
+	}
+}
+
+func TestAnalyzePerfectDiscards(t *testing.T) {
+	tr := TrafficCounts{NormalDiscarded: 100, FullReports: 0}
+	rep, err := Analyze(Params{Traffic: tr, StreamSeconds: 100, DutyGated: 0.1, DutyAlwaysOn: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 - float64(PeakOnlyBytes)/float64(FullBeatBytes) // 8/9
+	if math.Abs(rep.RadioReduction-want) > 1e-12 {
+		t.Fatalf("radio reduction %v, want %v", rep.RadioReduction, want)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Params{}); err == nil {
+		t.Fatal("empty traffic should error")
+	}
+	if _, err := Analyze(Params{Traffic: TrafficCounts{FullReports: 1}}); err == nil {
+		t.Fatal("zero always-on duty should error")
+	}
+}
+
+func TestBudgetSharesBound(t *testing.T) {
+	// With the documented ~34% combined share, the total node saving cannot
+	// exceed 34% no matter how good the classifier is.
+	s := DefaultShares()
+	if s.Radio+s.Compute > 0.35 {
+		t.Fatalf("shares sum %.2f, want ~0.34 per the paper's budget", s.Radio+s.Compute)
+	}
+	tr := TrafficCounts{NormalDiscarded: 100, FullReports: 0}
+	rep, err := Analyze(Params{Traffic: tr, StreamSeconds: 1, DutyGated: 0.001, DutyAlwaysOn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalReduction > s.Radio+s.Compute {
+		t.Fatalf("total reduction %v exceeds budget share bound", rep.TotalReduction)
+	}
+}

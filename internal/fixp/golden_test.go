@@ -1,0 +1,111 @@
+package fixp
+
+// Golden-vector tests: frozen input/output pairs for the integer pipeline.
+// A firmware port of the classifier (the deployment target of the paper) can
+// validate bit-exactness against these vectors without running Go. If any
+// of these tests fails after a code change, the on-disk/on-node semantics
+// changed and existing deployed artifacts are invalidated — bump the model
+// format version rather than "fixing" the vectors.
+
+import "testing"
+
+func TestGoldenLinearMFVectors(t *testing.T) {
+	// MF with center 0, sigma 1000 -> S = 2350.
+	m := NewIntMF(MFLinear, 0, 1000)
+	if m.S != 2350 {
+		t.Fatalf("S = %d, want 2350", m.S)
+	}
+	vectors := []struct {
+		x    int32
+		want uint16
+	}{
+		{0, 65535},
+		{1, 65509},
+		{-1, 65509},
+		{235, 59396},
+		{1000, 39411},
+		{2349, 4170},
+		{2350, 4143}, // knee: g1
+		{2351, 4142},
+		{3000, 2998},
+		{4699, 3},
+		{4700, 1}, // 2S: constant-1 tail begins
+		{7049, 1},
+		{9399, 1}, // just under 4S
+		{9400, 0}, // 4S: zero
+		{20000, 0},
+	}
+	for _, v := range vectors {
+		if got := m.Eval(v.x); got != v.want {
+			t.Errorf("Eval(%d) = %d, want %d", v.x, got, v.want)
+		}
+	}
+}
+
+func TestGoldenTriangularMFVectors(t *testing.T) {
+	m := NewIntMF(MFTriangular, 0, 1000)
+	vectors := []struct {
+		x    int32
+		want uint16
+	}{
+		{0, 65535},
+		{2350, 32768}, // S: half scale
+		{4699, 15},    // one count before the cutoff
+		{4700, 0},     // 2S: zero
+		{9999, 0},
+	}
+	for _, v := range vectors {
+		if got := m.Eval(v.x); got != v.want {
+			t.Errorf("Eval(%d) = %d, want %d", v.x, got, v.want)
+		}
+	}
+}
+
+func TestGoldenFuzzifyVectors(t *testing.T) {
+	// k=4, grades chosen to exercise the renormalization path.
+	grades := []uint16{
+		60000, 30000, 10,
+		50000, 40000, 65535,
+		65535, 1, 65535,
+		40000, 40000, 40000,
+	}
+	got := Fuzzify(4, grades)
+	want := [NumClasses]uint32{1831000000, 0, 320000}
+	if got != want {
+		t.Fatalf("Fuzzify = %v, want %v", got, want)
+	}
+}
+
+func TestGoldenDefuzzifyVectors(t *testing.T) {
+	cases := []struct {
+		f     [NumClasses]uint32
+		alpha AlphaQ15
+		want  string
+	}{
+		{[NumClasses]uint32{1831000000, 0, 320000}, AlphaToQ15(0.5), "N"},
+		{[NumClasses]uint32{1831000000, 0, 320000}, AlphaToQ15(0.99), "N"},
+		{[NumClasses]uint32{100, 200, 150}, AlphaToQ15(0.10), "L"},
+		{[NumClasses]uint32{100, 200, 150}, AlphaToQ15(0.12), "U"},
+		{[NumClasses]uint32{0, 0, 7}, 0, "V"},
+		{[NumClasses]uint32{0, 0, 0}, 0, "U"},
+	}
+	for i, c := range cases {
+		if got := Defuzzify(c.f, c.alpha).String(); got != c.want {
+			t.Errorf("case %d: Defuzzify(%v, %d) = %s, want %s", i, c.f, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestGoldenAlphaQ15Vectors(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		want  AlphaQ15
+	}{
+		{0, 0}, {0.25, 8192}, {0.5, 16384}, {0.97, 31785}, {1, 32768},
+	}
+	for _, c := range cases {
+		if got := AlphaToQ15(c.alpha); got != c.want {
+			t.Errorf("AlphaToQ15(%v) = %d, want %d", c.alpha, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package ga provides the generic genetic algorithm used to optimize the
+// random projection matrix (Sec. III-A of the paper: population of 20
+// matrices evolved for 30 generations; each matrix is a chromosome, combined
+// by crossover and mutation, with fitness given by the score of the NFC
+// trained on that projection).
+//
+// The engine is deliberately generic: chromosomes are opaque values handled
+// through caller-supplied crossover/mutation/fitness hooks, so the same code
+// drives unit tests (bit strings) and the production search (rp.Matrix).
+package ga
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"rpbeat/internal/rng"
+)
+
+// Config parameterizes a run of the genetic algorithm over chromosomes of
+// type T. Fitness is maximized.
+type Config[T any] struct {
+	// Generations is the number of evolution steps (required, > 0).
+	Generations int
+	// Elite is how many top individuals survive unchanged; default 2.
+	Elite int
+	// TournamentK is the tournament selection size; default 3.
+	TournamentK int
+	// MutationRate is passed to Mutate as contextual information; the hook
+	// itself decides what it means. Kept here so sweeps can tune it centrally.
+	MutationRate float64
+	// Fitness scores a chromosome; larger is better. Must be deterministic
+	// (it may be called from multiple goroutines concurrently).
+	Fitness func(T) float64
+	// Crossover combines two parents into a child.
+	Crossover func(r *rng.Rand, a, b T) T
+	// Mutate perturbs a chromosome (it receives MutationRate).
+	Mutate func(r *rng.Rand, c T, rate float64) T
+	// Parallel bounds concurrent fitness evaluations; default 1 (serial).
+	Parallel int
+	// Seed drives all stochastic choices of the engine.
+	Seed uint64
+	// OnGeneration, if set, observes progress after each generation.
+	OnGeneration func(gen int, bestFitness float64)
+}
+
+// Result reports the best individual found.
+type Result[T any] struct {
+	Best        T
+	BestFitness float64
+	// History holds the best fitness after each generation.
+	History []float64
+	// Evaluations is the number of fitness calls performed.
+	Evaluations int
+}
+
+type scored[T any] struct {
+	c   T
+	fit float64
+}
+
+// Run evolves the given initial population and returns the best chromosome
+// ever observed. The initial population provides the population size.
+func Run[T any](initial []T, cfg Config[T]) (Result[T], error) {
+	var res Result[T]
+	if len(initial) < 2 {
+		return res, errors.New("ga: population must have at least 2 individuals")
+	}
+	if cfg.Generations <= 0 {
+		return res, errors.New("ga: Generations must be positive")
+	}
+	if cfg.Fitness == nil || cfg.Crossover == nil || cfg.Mutate == nil {
+		return res, errors.New("ga: Fitness, Crossover and Mutate hooks are required")
+	}
+	elite := cfg.Elite
+	if elite <= 0 {
+		elite = 2
+	}
+	if elite > len(initial) {
+		elite = len(initial)
+	}
+	tk := cfg.TournamentK
+	if tk <= 0 {
+		tk = 3
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = 1
+	}
+
+	master := rng.New(cfg.Seed)
+	pop := make([]scored[T], len(initial))
+	for i, c := range initial {
+		pop[i].c = c
+	}
+
+	evaluate := func(p []scored[T]) {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range p {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(s *scored[T]) {
+				defer wg.Done()
+				s.fit = cfg.Fitness(s.c)
+				<-sem
+			}(&p[i])
+		}
+		wg.Wait()
+		res.Evaluations += len(p)
+	}
+
+	evaluate(pop)
+	sortByFitness(pop)
+	res.Best = pop[0].c
+	res.BestFitness = pop[0].fit
+
+	tournament := func(r *rng.Rand) T {
+		best := r.Intn(len(pop))
+		for i := 1; i < tk; i++ {
+			c := r.Intn(len(pop))
+			if pop[c].fit > pop[best].fit {
+				best = c
+			}
+		}
+		return pop[best].c
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]scored[T], 0, len(pop))
+		// Elitism: carry over the best unchanged (already scored).
+		for i := 0; i < elite; i++ {
+			next = append(next, pop[i])
+		}
+		// Offspring: tournament-select two parents, cross, mutate.
+		for len(next) < len(pop) {
+			a := tournament(master)
+			b := tournament(master)
+			child := cfg.Crossover(master.Split(), a, b)
+			child = cfg.Mutate(master.Split(), child, cfg.MutationRate)
+			next = append(next, scored[T]{c: child})
+		}
+		// Score only the new individuals (the elite keep their fitness).
+		evaluate(next[elite:])
+		pop = next
+		sortByFitness(pop)
+		if pop[0].fit > res.BestFitness {
+			res.Best = pop[0].c
+			res.BestFitness = pop[0].fit
+		}
+		res.History = append(res.History, res.BestFitness)
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gen, res.BestFitness)
+		}
+	}
+	return res, nil
+}
+
+func sortByFitness[T any](p []scored[T]) {
+	sort.SliceStable(p, func(i, j int) bool { return p[i].fit > p[j].fit })
+}

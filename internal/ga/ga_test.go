@@ -1,0 +1,169 @@
+package ga
+
+import (
+	"testing"
+
+	"rpbeat/internal/rng"
+)
+
+// oneMax: maximize the number of 1 bits in a fixed-length bit string.
+type bits []byte
+
+func oneMaxConfig(seed uint64, parallel int) Config[bits] {
+	return Config[bits]{
+		Generations:  60,
+		Elite:        2,
+		Seed:         seed,
+		Parallel:     parallel,
+		MutationRate: 0.02,
+		Fitness: func(b bits) float64 {
+			s := 0
+			for _, v := range b {
+				s += int(v)
+			}
+			return float64(s)
+		},
+		Crossover: func(r *rng.Rand, a, b bits) bits {
+			child := make(bits, len(a))
+			cut := r.Intn(len(a))
+			copy(child, a[:cut])
+			copy(child[cut:], b[cut:])
+			return child
+		},
+		Mutate: func(r *rng.Rand, c bits, rate float64) bits {
+			out := make(bits, len(c))
+			copy(out, c)
+			for i := range out {
+				if r.Float64() < rate {
+					out[i] ^= 1
+				}
+			}
+			return out
+		},
+	}
+}
+
+func randomPop(seed uint64, n, length int) []bits {
+	r := rng.New(seed)
+	pop := make([]bits, n)
+	for i := range pop {
+		pop[i] = make(bits, length)
+		for j := range pop[i] {
+			pop[i][j] = byte(r.Intn(2))
+		}
+	}
+	return pop
+}
+
+func TestRunSolvesOneMax(t *testing.T) {
+	res, err := Run(randomPop(1, 20, 40), oneMaxConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 38 {
+		t.Fatalf("best fitness %v after 60 generations, want >= 38/40", res.BestFitness)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(randomPop(1, 16, 32), oneMaxConfig(7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(randomPop(1, 16, 32), oneMaxConfig(7, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness {
+		t.Fatalf("same seed, different results: %v vs %v", a.BestFitness, b.BestFitness)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("histories diverge at generation %d", i)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, err := Run(randomPop(3, 16, 32), oneMaxConfig(9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(randomPop(3, 16, 32), oneMaxConfig(9, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BestFitness != parallel.BestFitness {
+		t.Fatalf("parallel evaluation changed the result: %v vs %v", serial.BestFitness, parallel.BestFitness)
+	}
+}
+
+func TestMonotoneBestFitness(t *testing.T) {
+	res, err := Run(randomPop(5, 20, 40), oneMaxConfig(11, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("best fitness regressed at generation %d: %v -> %v (elitism broken)",
+				i, res.History[i-1], res.History[i])
+		}
+	}
+}
+
+func TestEvaluationAccounting(t *testing.T) {
+	cfg := oneMaxConfig(13, 1)
+	cfg.Generations = 5
+	cfg.Elite = 2
+	pop := randomPop(13, 10, 16)
+	res, err := Run(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 + 5*(10-2) // initial + per-generation offspring
+	if res.Evaluations != want {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, want)
+	}
+}
+
+func TestOnGenerationCallback(t *testing.T) {
+	cfg := oneMaxConfig(15, 1)
+	cfg.Generations = 7
+	calls := 0
+	cfg.OnGeneration = func(gen int, best float64) { calls++ }
+	if _, err := Run(randomPop(15, 8, 16), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Fatalf("callback called %d times, want 7", calls)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := oneMaxConfig(1, 1)
+	if _, err := Run([]bits{make(bits, 4)}, cfg); err == nil {
+		t.Fatal("population of 1 should error")
+	}
+	cfg.Generations = 0
+	if _, err := Run(randomPop(1, 4, 4), cfg); err == nil {
+		t.Fatal("zero generations should error")
+	}
+	cfg = oneMaxConfig(1, 1)
+	cfg.Fitness = nil
+	if _, err := Run(randomPop(1, 4, 4), cfg); err == nil {
+		t.Fatal("missing fitness should error")
+	}
+}
+
+func TestEliteLargerThanPopulationClamped(t *testing.T) {
+	cfg := oneMaxConfig(17, 1)
+	cfg.Elite = 100
+	cfg.Generations = 3
+	res, err := Run(randomPop(17, 6, 8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 0 {
+		t.Fatal("run failed with clamped elite")
+	}
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/rng"
+)
+
+// evalsFixture builds a controllable evaluation set:
+// - nClear normals with strong N fuzzy values
+// - nBorder normals with weak margins (flip to U early)
+// - aClear abnormals correctly V
+// - aMissed abnormals that look N with given margins
+func evalsFixture() []Eval {
+	var evals []Eval
+	add := func(label uint8, f [3]float64, n int) {
+		for i := 0; i < n; i++ {
+			evals = append(evals, Eval{Label: label, F: f})
+		}
+	}
+	add(0, [3]float64{1.0, 0.1, 0.1}, 80)   // clear normals (margin 0.75)
+	add(0, [3]float64{0.5, 0.45, 0.05}, 20) // borderline normals (margin 0.05)
+	add(2, [3]float64{0.1, 0.1, 1.0}, 15)   // clear V
+	add(1, [3]float64{0.6, 0.55, 0.05}, 5)  // L misread as N (margin ~0.0417)
+	return evals
+}
+
+func TestEvaluateAlphaZero(t *testing.T) {
+	p, conf := Evaluate(evalsFixture(), 0)
+	if p.NDR != 1.0 {
+		t.Fatalf("NDR = %v, want 1 (all normals argmax N)", p.NDR)
+	}
+	// 15 of 20 abnormal recognized.
+	if math.Abs(p.ARR-0.75) > 1e-9 {
+		t.Fatalf("ARR = %v, want 0.75", p.ARR)
+	}
+	if conf.Total() != 120 {
+		t.Fatalf("total = %d", conf.Total())
+	}
+}
+
+func TestEvaluateHighAlpha(t *testing.T) {
+	// alpha above every margin: everything U.
+	p, conf := Evaluate(evalsFixture(), 0.9)
+	if p.NDR != 0 {
+		t.Fatalf("NDR = %v, want 0", p.NDR)
+	}
+	if p.ARR != 1 {
+		t.Fatalf("ARR = %v, want 1", p.ARR)
+	}
+	if conf[0][nfc.DecideU] != 100 {
+		t.Fatalf("normals as U = %d, want 100", conf[0][nfc.DecideU])
+	}
+}
+
+func TestMinAlphaForARRExact(t *testing.T) {
+	evals := evalsFixture()
+	// Need ARR >= 0.9 -> 18 of 20. 15 always recognized; must flip 3 of the
+	// 5 misread L beats (all with margin (0.6-0.55)/1.2 = 0.0416667).
+	alpha, achieved, err := MinAlphaForARR(evals, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !achieved {
+		t.Fatal("target should be achievable")
+	}
+	p, _ := Evaluate(evals, alpha)
+	if p.ARR < 0.9 {
+		t.Fatalf("ARR at returned alpha = %v < 0.9", p.ARR)
+	}
+	// The misread beats share one margin, so flipping any flips all 5.
+	if p.ARR != 1.0 {
+		t.Fatalf("ARR = %v, want 1.0 (all share the critical alpha)", p.ARR)
+	}
+	// The borderline normals (margin 0.05) must NOT yet be rejected at this
+	// alpha (0.0417 < 0.05), so NDR stays 1.
+	if p.NDR != 1.0 {
+		t.Fatalf("NDR = %v, want 1.0", p.NDR)
+	}
+}
+
+func TestMinAlphaForARRZeroWhenAlreadyMet(t *testing.T) {
+	evals := evalsFixture()
+	alpha, achieved, err := MinAlphaForARR(evals, 0.7) // 0.75 at alpha 0
+	if err != nil || !achieved {
+		t.Fatal(err, achieved)
+	}
+	if alpha != 0 {
+		t.Fatalf("alpha = %v, want 0", alpha)
+	}
+}
+
+func TestMinAlphaForARRUnreachable(t *testing.T) {
+	// Abnormal beat with M2 = M3 = 0: stays N forever.
+	evals := []Eval{
+		{Label: 1, F: [3]float64{1, 0, 0}},
+		{Label: 0, F: [3]float64{1, 0, 0}},
+	}
+	alpha, achieved, err := MinAlphaForARR(evals, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if achieved {
+		t.Fatalf("target should be unreachable, got alpha %v", alpha)
+	}
+}
+
+func TestMinAlphaForARRNoAbnormals(t *testing.T) {
+	evals := []Eval{{Label: 0, F: [3]float64{1, 0, 0}}}
+	if _, _, err := MinAlphaForARR(evals, 0.9); err == nil {
+		t.Fatal("no abnormal beats should be an error")
+	}
+}
+
+func TestARRMonotoneInAlpha(t *testing.T) {
+	r := rng.New(1)
+	var evals []Eval
+	for i := 0; i < 500; i++ {
+		var f [3]float64
+		for l := range f {
+			f[l] = r.Float64()
+		}
+		evals = append(evals, Eval{Label: uint8(r.Intn(3)), F: f})
+	}
+	prevARR, prevNDR := -1.0, 2.0
+	for _, a := range []float64{0, 0.05, 0.1, 0.2, 0.4, 0.8, 1} {
+		p, _ := Evaluate(evals, a)
+		if p.ARR < prevARR-1e-12 {
+			t.Fatalf("ARR decreased at alpha %v", a)
+		}
+		if p.NDR > prevNDR+1e-12 {
+			t.Fatalf("NDR increased at alpha %v", a)
+		}
+		prevARR, prevNDR = p.ARR, p.NDR
+	}
+}
+
+func TestMinAlphaMatchesSweep(t *testing.T) {
+	// The exact operating-point search must agree with a fine grid sweep.
+	r := rng.New(2)
+	var evals []Eval
+	for i := 0; i < 300; i++ {
+		var f [3]float64
+		for l := range f {
+			f[l] = r.Float64()
+		}
+		evals = append(evals, Eval{Label: uint8(r.Intn(3)), F: f})
+	}
+	const target = 0.97
+	alpha, achieved, err := MinAlphaForARR(evals, target)
+	if err != nil || !achieved {
+		t.Fatal(err, achieved)
+	}
+	p, _ := Evaluate(evals, alpha)
+	if p.ARR < target {
+		t.Fatalf("exact search: ARR %v < %v", p.ARR, target)
+	}
+	// No smaller alpha on a fine grid should reach the target.
+	for a := 0.0; a < alpha; a += alpha / 200 {
+		pg, _ := Evaluate(evals, a)
+		if pg.ARR >= target && pg.NDR > p.NDR {
+			t.Fatalf("grid alpha %v dominates exact alpha %v", a, alpha)
+		}
+	}
+}
+
+func TestPareto(t *testing.T) {
+	pts := []Point{
+		{Alpha: 0.1, NDR: 0.9, ARR: 0.90},
+		{Alpha: 0.2, NDR: 0.85, ARR: 0.95},
+		{Alpha: 0.3, NDR: 0.80, ARR: 0.97},
+		{Alpha: 0.15, NDR: 0.7, ARR: 0.93}, // dominated
+		{Alpha: 0.4, NDR: 0.6, ARR: 0.99},
+	}
+	front := Pareto(pts)
+	if len(front) != 4 {
+		t.Fatalf("front size %d, want 4: %+v", len(front), front)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].ARR < front[i-1].ARR {
+			t.Fatal("front not sorted by ARR")
+		}
+		if front[i].NDR > front[i-1].NDR {
+			t.Fatal("front not monotone in NDR")
+		}
+	}
+	for _, p := range front {
+		if p.Alpha == 0.15 {
+			t.Fatal("dominated point survived")
+		}
+	}
+}
+
+func TestCurve(t *testing.T) {
+	evals := evalsFixture()
+	alphas := []float64{0, 0.05, 0.5}
+	pts := Curve(evals, alphas)
+	if len(pts) != 3 {
+		t.Fatalf("curve length %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Alpha != alphas[i] {
+			t.Fatalf("point %d alpha %v", i, p.Alpha)
+		}
+	}
+}
+
+func TestNDRAtARR(t *testing.T) {
+	evals := evalsFixture()
+	p, conf, err := NDRAtARR(evals, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ARR < 0.9 {
+		t.Fatalf("ARR %v", p.ARR)
+	}
+	if conf.Total() != len(evals) {
+		t.Fatal("confusion total mismatch")
+	}
+	// Unreachable target errors but still reports the best point.
+	bad := []Eval{{Label: 1, F: [3]float64{1, 0, 0}}}
+	if _, _, err := NDRAtARR(bad, 0.99); err == nil {
+		t.Fatal("unreachable target should error")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	var c Confusion
+	c.Add(0, nfc.DecideN)
+	c.Add(1, nfc.DecideU)
+	s := c.String()
+	if len(s) == 0 {
+		t.Fatal("empty confusion string")
+	}
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/rng"
+)
+
+// TestCriticalAlphaConsistentWithDecide verifies the closed-form critical α
+// against the decision rule: a beat keeps its arg-max class for α up to the
+// critical value and flips to U strictly above it.
+func TestCriticalAlphaConsistentWithDecide(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var fv [nfc.NumClasses]float64
+		for l := range fv {
+			fv[l] = r.Float64() * 10
+		}
+		ca, best := criticalAlpha(fv)
+		if ca < 0 {
+			return nfc.Decide(fv, 0) == nfc.DecideU
+		}
+		classOf := func(i int) nfc.Decision {
+			switch i {
+			case nfc.IdxN:
+				return nfc.DecideN
+			case nfc.IdxL:
+				return nfc.DecideL
+			}
+			return nfc.DecideV
+		}
+		// The ratio (M1-M2)/S and the rule's product α·S round differently,
+		// so the boundary is exact only to ~1 ulp: probe comfortably below
+		// and above instead of at the critical value itself.
+		if belowα := ca * (1 - 1e-12); belowα >= 0 {
+			if nfc.Decide(fv, belowα) != classOf(best) {
+				return false
+			}
+		}
+		if aboveα := ca + 1e-9*(1+ca); aboveα <= 1 {
+			if nfc.Decide(fv, aboveα) != nfc.DecideU {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParetoFrontDominance verifies no front point is dominated by any
+// input point.
+func TestParetoFrontDominance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(50)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Alpha: r.Float64(), NDR: r.Float64(), ARR: r.Float64()}
+		}
+		front := Pareto(pts)
+		for _, fp := range front {
+			for _, p := range pts {
+				if p.NDR > fp.NDR && p.ARR > fp.ARR {
+					return false // dominated point on the front
+				}
+			}
+		}
+		// Every input point must be dominated-or-equal by some front point.
+		for _, p := range pts {
+			ok := false
+			for _, fp := range front {
+				if fp.NDR >= p.NDR && fp.ARR >= p.ARR {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinAlphaIsMinimal checks minimality: reducing the returned α by a
+// whisker must violate the ARR constraint (unless α is already 0).
+func TestMinAlphaIsMinimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 50 + r.Intn(200)
+		evals := make([]Eval, n)
+		for i := range evals {
+			var fv [nfc.NumClasses]float64
+			for l := range fv {
+				fv[l] = r.Float64()
+			}
+			evals[i] = Eval{Label: uint8(r.Intn(3)), F: fv}
+		}
+		const target = 0.9
+		alpha, achieved, err := MinAlphaForARR(evals, target)
+		if err != nil {
+			return true // no abnormals drawn; nothing to check
+		}
+		if !achieved {
+			return true
+		}
+		p, _ := Evaluate(evals, alpha)
+		if p.ARR < target {
+			return false
+		}
+		if alpha == 0 {
+			return true
+		}
+		// One ulp below the returned α must not strictly improve NDR while
+		// still meeting the target (that would mean α was not minimal).
+		below, _ := Evaluate(evals, nextDown(alpha))
+		return below.ARR < target || below.NDR <= p.NDR
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nextDown(x float64) float64 { return math.Nextafter(x, -1) }

@@ -1,0 +1,139 @@
+package nfc
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainingSet is a labelled collection of projected beats for supervised
+// membership-function training.
+type TrainingSet struct {
+	U     [][]float64 // projected coefficients, each of length K
+	Label []uint8     // class index per beat (IdxN / IdxL / IdxV)
+	// Weight applies a per-class loss weight: raising the abnormal-class
+	// weights unbalances training toward abnormal recall, the role the paper
+	// assigns to the α_train choice. A zero value means uniform weights.
+	Weight [NumClasses]float64
+}
+
+// Validate checks the set is well formed for an NFC with K inputs.
+func (ts *TrainingSet) Validate(k int) error {
+	if len(ts.U) == 0 {
+		return fmt.Errorf("nfc: empty training set")
+	}
+	if len(ts.U) != len(ts.Label) {
+		return fmt.Errorf("nfc: %d inputs but %d labels", len(ts.U), len(ts.Label))
+	}
+	for i, row := range ts.U {
+		if len(row) != k {
+			return fmt.Errorf("nfc: beat %d has %d coefficients, want %d", i, len(row), k)
+		}
+		if ts.Label[i] >= NumClasses {
+			return fmt.Errorf("nfc: beat %d has label %d", i, ts.Label[i])
+		}
+	}
+	return nil
+}
+
+func (ts *TrainingSet) weights() [NumClasses]float64 {
+	w := ts.Weight
+	if w[0] == 0 && w[1] == 0 && w[2] == 0 {
+		return [NumClasses]float64{1, 1, 1}
+	}
+	return w
+}
+
+// LossGrad evaluates the training objective and its gradient at the
+// parameter vector x (layout per Params.ToVector: centers then log-sigmas).
+//
+// The objective is the class-weighted sum of squared errors between the
+// normalized fuzzy outputs ŷ = softmax(log f) and the one-hot target — the
+// classical neuro-fuzzy formulation (Sun & Jang; Cetisli & Barkana) that the
+// paper trains with scaled conjugate gradient.
+func LossGrad(k int, ts *TrainingSet, x []float64, grad []float64) float64 {
+	n := k * NumClasses
+	if len(x) != 2*n || len(grad) != 2*n {
+		panic("nfc: LossGrad vector length mismatch")
+	}
+	w := ts.weights()
+	for i := range grad {
+		grad[i] = 0
+	}
+	// Decode parameters once per evaluation.
+	c := x[:n]
+	sigma := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sigma[i] = math.Exp(x[n+i])
+	}
+
+	var loss float64
+	var z, y [NumClasses]float64
+	for bi, u := range ts.U {
+		// forward: z_l = Σ_k -(u_k-c)²/(2σ²)
+		for l := range z {
+			z[l] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			base := kk * NumClasses
+			for l := 0; l < NumClasses; l++ {
+				d := (u[kk] - c[base+l]) / sigma[base+l]
+				z[l] -= 0.5 * d * d
+			}
+		}
+		// softmax
+		m := math.Max(z[0], math.Max(z[1], z[2]))
+		var sum float64
+		for l := range y {
+			y[l] = math.Exp(z[l] - m)
+			sum += y[l]
+		}
+		inv := 1 / sum
+		for l := range y {
+			y[l] *= inv
+		}
+		lbl := int(ts.Label[bi])
+		wb := w[lbl]
+		// loss and dE/dz
+		var dot float64 // Σ_l (y_l - t_l) y_l
+		var e [NumClasses]float64
+		for l := 0; l < NumClasses; l++ {
+			t := 0.0
+			if l == lbl {
+				t = 1
+			}
+			e[l] = y[l] - t
+			loss += wb * e[l] * e[l]
+			dot += e[l] * y[l]
+		}
+		var dz [NumClasses]float64
+		for l := 0; l < NumClasses; l++ {
+			dz[l] = 2 * wb * y[l] * (e[l] - dot)
+		}
+		// backprop into c and log-sigma
+		for kk := 0; kk < k; kk++ {
+			base := kk * NumClasses
+			for l := 0; l < NumClasses; l++ {
+				idx := base + l
+				diff := u[kk] - c[idx]
+				s2 := sigma[idx] * sigma[idx]
+				// dz_l/dc = (u-c)/σ² ; dz_l/d(logσ) = (u-c)²/σ²
+				grad[idx] += dz[l] * diff / s2
+				grad[n+idx] += dz[l] * diff * diff / s2
+			}
+		}
+	}
+	invN := 1 / float64(len(ts.U))
+	loss *= invN
+	for i := range grad {
+		grad[i] *= invN
+	}
+	return loss
+}
+
+// Objective adapts LossGrad to the scg.Objective signature for an NFC with
+// k coefficients over ts.
+func Objective(k int, ts *TrainingSet) func(x, grad []float64) float64 {
+	return func(x, grad []float64) float64 {
+		return LossGrad(k, ts, x, grad)
+	}
+}

@@ -1,0 +1,209 @@
+package nfc
+
+import (
+	"math"
+	"testing"
+
+	"rpbeat/internal/rng"
+	"rpbeat/internal/scg"
+)
+
+func makeClusters(r *rng.Rand, perClass int, spread float64) ([][]float64, []uint8) {
+	centers := [NumClasses][2]float64{{0, 0}, {6, 0}, {0, 6}}
+	var u [][]float64
+	var label []uint8
+	for l := 0; l < NumClasses; l++ {
+		for i := 0; i < perClass; i++ {
+			u = append(u, []float64{
+				centers[l][0] + spread*r.Norm(),
+				centers[l][1] + spread*r.Norm(),
+			})
+			label = append(label, uint8(l))
+		}
+	}
+	return u, label
+}
+
+func TestTrainingSetValidate(t *testing.T) {
+	ts := &TrainingSet{}
+	if ts.Validate(2) == nil {
+		t.Fatal("empty set should fail")
+	}
+	ts = &TrainingSet{U: [][]float64{{1, 2}}, Label: []uint8{0, 1}}
+	if ts.Validate(2) == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	ts = &TrainingSet{U: [][]float64{{1}}, Label: []uint8{0}}
+	if ts.Validate(2) == nil {
+		t.Fatal("wrong coefficient count should fail")
+	}
+	ts = &TrainingSet{U: [][]float64{{1, 2}}, Label: []uint8{7}}
+	if ts.Validate(2) == nil {
+		t.Fatal("bad label should fail")
+	}
+	ts = &TrainingSet{U: [][]float64{{1, 2}}, Label: []uint8{1}}
+	if err := ts.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	r := rng.New(5)
+	u, label := makeClusters(r, 15, 1.5)
+	ts := &TrainingSet{U: u, Label: label, Weight: [NumClasses]float64{1, 2, 3}}
+	k := 2
+	p := InitFromData(k, u, label)
+	x := p.ToVector()
+	// Perturb so we are not at a stationary point.
+	for i := range x {
+		x[i] += 0.3 * r.Norm()
+	}
+	n := len(x)
+	grad := make([]float64, n)
+	LossGrad(k, ts, x, grad)
+
+	const h = 1e-6
+	tmp := make([]float64, n)
+	scratch := make([]float64, n)
+	for i := 0; i < n; i++ {
+		copy(tmp, x)
+		tmp[i] = x[i] + h
+		fp := LossGrad(k, ts, tmp, scratch)
+		tmp[i] = x[i] - h
+		fm := LossGrad(k, ts, tmp, scratch)
+		num := (fp - fm) / (2 * h)
+		if diff := math.Abs(num - grad[i]); diff > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("gradient[%d]: analytic %v, numeric %v", i, grad[i], num)
+		}
+	}
+}
+
+func TestSCGTrainingImprovesLoss(t *testing.T) {
+	r := rng.New(6)
+	u, label := makeClusters(r, 50, 2.5) // overlapping clusters
+	ts := &TrainingSet{U: u, Label: label}
+	k := 2
+	p := InitFromData(k, u, label)
+	x0 := p.ToVector()
+	grad := make([]float64, len(x0))
+	f0 := LossGrad(k, ts, x0, grad)
+
+	res, err := scg.Minimize(scg.Objective(Objective(k, ts)), x0, scg.Options{MaxIter: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F >= f0 {
+		t.Fatalf("training did not improve loss: %v -> %v", f0, res.F)
+	}
+	p.FromVector(res.X)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainedClassifierAccuracy(t *testing.T) {
+	r := rng.New(7)
+	u, label := makeClusters(r, 80, 1.8)
+	ts := &TrainingSet{U: u, Label: label}
+	k := 2
+	p := InitFromData(k, u, label)
+	res, err := scg.Minimize(scg.Objective(Objective(k, ts)), p.ToVector(), scg.Options{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FromVector(res.X)
+
+	// Fresh data from the same distribution.
+	uTest, lTest := makeClusters(rng.New(8), 100, 1.8)
+	correct := 0
+	for i := range uTest {
+		d := p.Classify(uTest[i], 0)
+		want := []Decision{DecideN, DecideL, DecideV}[lTest[i]]
+		if d == want {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(uTest))
+	if acc < 0.9 {
+		t.Fatalf("test accuracy %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestClassWeightsShiftDecisionBoundary(t *testing.T) {
+	// With strongly weighted abnormal classes, fewer abnormal beats should
+	// be misclassified as N compared with uniform weights.
+	r := rng.New(9)
+	u, label := makeClusters(r, 120, 3.2) // heavy overlap
+	k := 2
+
+	train := func(w [NumClasses]float64) *Params {
+		ts := &TrainingSet{U: u, Label: label, Weight: w}
+		p := InitFromData(k, u, label)
+		res, err := scg.Minimize(scg.Objective(Objective(k, ts)), p.ToVector(), scg.Options{MaxIter: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.FromVector(res.X)
+		return p
+	}
+	uniform := train([NumClasses]float64{1, 1, 1})
+	skewed := train([NumClasses]float64{1, 8, 8})
+
+	missAsN := func(p *Params) int {
+		miss := 0
+		for i := range u {
+			if label[i] != IdxN && p.Classify(u[i], 0) == DecideN {
+				miss++
+			}
+		}
+		return miss
+	}
+	mu, ms := missAsN(uniform), missAsN(skewed)
+	if ms > mu {
+		t.Fatalf("abnormal-weighted training misses more abnormals (%d) than uniform (%d)", ms, mu)
+	}
+}
+
+func TestObjectiveAdapterConsistent(t *testing.T) {
+	r := rng.New(10)
+	u, label := makeClusters(r, 10, 1)
+	ts := &TrainingSet{U: u, Label: label}
+	k := 2
+	p := InitFromData(k, u, label)
+	x := p.ToVector()
+	g1 := make([]float64, len(x))
+	g2 := make([]float64, len(x))
+	f1 := LossGrad(k, ts, x, g1)
+	f2 := Objective(k, ts)(x, g2)
+	if f1 != f2 {
+		t.Fatalf("adapter returned %v, direct %v", f2, f1)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("gradient mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkLossGrad_K8_450beats(b *testing.B) {
+	r := rng.New(1)
+	k := 8
+	n := 450
+	u := make([][]float64, n)
+	label := make([]uint8, n)
+	for i := range u {
+		u[i] = make([]float64, k)
+		for j := range u[i] {
+			u[i][j] = r.Norm()
+		}
+		label[i] = uint8(r.Intn(3))
+	}
+	ts := &TrainingSet{U: u, Label: label}
+	p := InitFromData(k, u, label)
+	x := p.ToVector()
+	grad := make([]float64, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LossGrad(k, ts, x, grad)
+	}
+}

@@ -1,0 +1,222 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"rpbeat/internal/rng"
+)
+
+func TestJacobiDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	vals, vecs, err := JacobiEigen(a, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalue %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	// Eigenvector of eigenvalue 3 should be e0 (up to sign).
+	if math.Abs(math.Abs(vecs[0][0])-1) > 1e-9 {
+		t.Fatalf("first eigenvector %v", vecs[0])
+	}
+}
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs, err := JacobiEigen(a, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues %v", vals)
+	}
+	if math.Abs(math.Abs(vecs[0][0])-1/math.Sqrt2) > 1e-9 ||
+		math.Abs(vecs[0][0]-vecs[0][1]) > 1e-9 {
+		t.Fatalf("first eigenvector %v", vecs[0])
+	}
+}
+
+func TestJacobiOrthonormalityAndReconstruction(t *testing.T) {
+	r := rng.New(1)
+	n := 20
+	// Random symmetric matrix.
+	orig := make([][]float64, n)
+	work := make([][]float64, n)
+	for i := range orig {
+		orig[i] = make([]float64, n)
+		work[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Norm()
+			orig[i][j], orig[j][i] = v, v
+		}
+	}
+	for i := range orig {
+		copy(work[i], orig[i])
+	}
+	vals, vecs, err := JacobiEigen(work, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orthonormality.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += vecs[a][k] * vecs[b][k]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("vec %d . vec %d = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+	// A v = λ v for each pair.
+	for e := 0; e < n; e++ {
+		for i := 0; i < n; i++ {
+			var av float64
+			for j := 0; j < n; j++ {
+				av += orig[i][j] * vecs[e][j]
+			}
+			if math.Abs(av-vals[e]*vecs[e][i]) > 1e-7*(1+math.Abs(vals[e])) {
+				t.Fatalf("eigenpair %d violates A v = λ v at row %d", e, i)
+			}
+		}
+	}
+	// Eigenvalues sorted descending.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+}
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Data spread along (1,1,0)/√2 with small isotropic noise.
+	r := rng.New(2)
+	dir := []float64{1 / math.Sqrt2, 1 / math.Sqrt2, 0}
+	var data [][]float64
+	for i := 0; i < 500; i++ {
+		s := 5 * r.Norm()
+		row := make([]float64, 3)
+		for j := range row {
+			row[j] = s*dir[j] + 0.1*r.Norm() + 2 // +2: nonzero mean
+		}
+		data = append(data, row)
+	}
+	p, err := Fit(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean near (2,2,2).
+	for j := range p.Mean {
+		if math.Abs(p.Mean[j]-2) > 0.5 {
+			t.Fatalf("mean[%d] = %v", j, p.Mean[j])
+		}
+	}
+	// First component parallel to dir (up to sign).
+	var dot float64
+	for j := range dir {
+		dot += p.Components[0][j] * dir[j]
+	}
+	if math.Abs(math.Abs(dot)-1) > 0.02 {
+		t.Fatalf("first component %v not aligned with %v (|dot| = %v)", p.Components[0], dir, math.Abs(dot))
+	}
+	if p.Variances[0] < 15 {
+		t.Fatalf("dominant variance %v, want ~25", p.Variances[0])
+	}
+}
+
+func TestProjectCentersData(t *testing.T) {
+	r := rng.New(3)
+	var data [][]float64
+	for i := 0; i < 100; i++ {
+		data = append(data, []float64{r.Norm() + 10, 2 * r.Norm()})
+	}
+	p, err := Fit(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The projection of the mean must be ~0.
+	score := p.Project(p.Mean)
+	for i, s := range score {
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("score[%d] of mean = %v", i, s)
+		}
+	}
+}
+
+func TestProjectionPreservesVarianceOrdering(t *testing.T) {
+	r := rng.New(4)
+	var data [][]float64
+	for i := 0; i < 400; i++ {
+		data = append(data, []float64{3 * r.Norm(), 1 * r.Norm(), 0.2 * r.Norm()})
+	}
+	p, err := Fit(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empirical variance of each score, in order.
+	n := len(data)
+	vars := make([]float64, 3)
+	for _, row := range data {
+		s := p.Project(row)
+		for j, v := range s {
+			vars[j] += v * v / float64(n-1)
+		}
+	}
+	if !(vars[0] > vars[1] && vars[1] > vars[2]) {
+		t.Fatalf("score variances not ordered: %v", vars)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, 1); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, 2); err == nil {
+		t.Fatal("k > d should fail")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Fatal("ragged data should fail")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, 1); err == nil {
+		t.Fatal("single observation should fail")
+	}
+}
+
+func TestProjectPanicsOnBadLength(t *testing.T) {
+	p := &Projection{Mean: []float64{0, 0}, Components: [][]float64{{1, 0}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Project([]float64{1, 2, 3})
+}
+
+func BenchmarkFit_200x450(b *testing.B) {
+	r := rng.New(1)
+	data := make([][]float64, 450)
+	for i := range data {
+		data[i] = make([]float64, 200)
+		for j := range data[i] {
+			data[i][j] = r.Norm()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(data, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

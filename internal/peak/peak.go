@@ -1,0 +1,318 @@
+// Package peak implements the wavelet-based QRS detector used by the WBSN
+// front end (first proposed for embedded nodes in Rincon et al., IEEE TITB
+// 2011, following the Mallat/Li modulus-maxima approach): the signal is
+// decomposed into four dyadic scales with the à trous transform; QRS
+// complexes appear as pairs of modulus maxima with opposite signs across
+// adjacent scales, and the R peak is the zero crossing between the pair on
+// the first scale.
+package peak
+
+import (
+	"math"
+	"sort"
+
+	"rpbeat/internal/sigdsp"
+)
+
+// Config tunes the detector. Zero values select defaults appropriate for
+// 360 Hz ambulatory ECG.
+type Config struct {
+	Fs float64 // sampling frequency; default 360
+
+	// ThresholdFactor scales the per-window RMS threshold; default 2.0.
+	ThresholdFactor float64
+	// WindowSec is the adaptive-threshold window length; default 2 s.
+	WindowSec float64
+	// PairSec is the maximum spacing of a modulus-maxima pair; default 0.16 s (wide enough for LBBB/PVC complexes).
+	PairSec float64
+	// RefractorySec suppresses detections after an accepted peak; default 0.22 s.
+	RefractorySec float64
+	// SearchBack enables re-scanning long RR gaps with halved thresholds;
+	// default on (disable with SearchBackOff).
+	SearchBackOff bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fs <= 0 {
+		c.Fs = 360
+	}
+	if c.ThresholdFactor <= 0 {
+		c.ThresholdFactor = 2.0
+	}
+	if c.WindowSec <= 0 {
+		c.WindowSec = 2
+	}
+	if c.PairSec <= 0 {
+		c.PairSec = 0.16
+	}
+	if c.RefractorySec <= 0 {
+		c.RefractorySec = 0.22
+	}
+	return c
+}
+
+// candidate is an internal QRS candidate: the zero-crossing position and the
+// modulus-maxima pair amplitude (used to arbitrate refractory conflicts).
+type candidate struct {
+	pos int
+	amp float64
+}
+
+// scales holds the decomposition, the per-scale adaptive thresholds and the
+// combined detection signal.
+type scales struct {
+	w   [][]float64
+	thr [][]float64
+	// z is the detection signal: the sum of scales 2^2 and 2^3 normalized by
+	// their local RMS. QRS complexes put energy into both scales (narrow
+	// ones into 2^2, wide LBBB/PVC ones into 2^3) while T waves and
+	// wide-band noise each excite only one, so the normalized sum separates
+	// beats from both.
+	z    []float64
+	thrZ []float64
+}
+
+func decompose(x []float64, c Config) scales {
+	d := sigdsp.AtrousDWT(x, 4)
+	s := scales{w: d.W, thr: make([][]float64, len(d.W))}
+	win := int(c.WindowSec * c.Fs)
+	for i := range d.W {
+		s.thr[i] = windowedRMS(d.W[i], win)
+	}
+	n := len(x)
+	s.z = make([]float64, n)
+	for i := 0; i < n; i++ {
+		s.z[i] = d.W[1][i]/(s.thr[1][i]+1e-300) + d.W[2][i]/(s.thr[2][i]+1e-300)
+	}
+	s.thrZ = windowedRMS(s.z, win)
+	return s
+}
+
+// slice restricts the scales to [lo, hi) (for search-back).
+func (s scales) slice(lo, hi int) scales {
+	out := scales{w: make([][]float64, len(s.w)), thr: make([][]float64, len(s.thr))}
+	for i := range s.w {
+		out.w[i] = s.w[i][lo:hi]
+		out.thr[i] = s.thr[i][lo:hi]
+	}
+	out.z = s.z[lo:hi]
+	out.thrZ = s.thrZ[lo:hi]
+	return out
+}
+
+// Detect returns the R-peak sample indices found in x (a single filtered
+// lead), sorted ascending.
+func Detect(x []float64, cfg Config) []int {
+	c := cfg.withDefaults()
+	if len(x) < 16 {
+		return nil
+	}
+	s := decompose(x, c)
+	cands := detectPass(s, c, 1.0)
+	peaks := arbitrate(cands, int(c.RefractorySec*c.Fs))
+
+	if !c.SearchBackOff && len(peaks) >= 3 {
+		peaks = searchBack(peaks, s, c)
+	}
+	return peaks
+}
+
+// detectPass scans the combined detection signal for significant
+// modulus-maxima pairs and localizes each QRS at the zero crossing between
+// the pair (on the finest scale that shows one, per the paper). thrScale
+// relaxes thresholds (< 1) during search-back.
+func detectPass(s scales, c Config, thrScale float64) []candidate {
+	z, tz := s.z, s.thrZ
+	n := len(z)
+	pair := int(c.PairSec * c.Fs)
+
+	// Significant local extrema of the detection signal.
+	type extremum struct {
+		pos int
+		val float64
+	}
+	var ext []extremum
+	for i := 1; i < n-1; i++ {
+		v := z[i]
+		if math.Abs(v) < thrScale*c.ThresholdFactor*tz[i] {
+			continue
+		}
+		if (v > 0 && v >= z[i-1] && v > z[i+1]) || (v < 0 && v <= z[i-1] && v < z[i+1]) {
+			ext = append(ext, extremum{i, v})
+		}
+	}
+
+	var cands []candidate
+	for i := 0; i+1 < len(ext); i++ {
+		a, b := ext[i], ext[i+1]
+		if a.val*b.val >= 0 || b.pos-a.pos > pair {
+			continue // need opposite signs within the pair window
+		}
+		// Zero crossing of the detection signal between the pair (the
+		// paper's scale-1 zero crossing generalized to the combined signal;
+		// fine scales alone are unreliable for wide, smooth complexes whose
+		// high-frequency content is noise).
+		zc := zeroCrossing(z, a.pos, b.pos)
+		if zc < 0 {
+			zc = (a.pos + b.pos) / 2
+		}
+		cands = append(cands, candidate{pos: zc, amp: math.Abs(a.val) + math.Abs(b.val)})
+	}
+	return cands
+}
+
+// windowedRMS computes a per-sample threshold baseline: the RMS of v over
+// non-overlapping windows, held constant inside each window. Using windows
+// rather than a global RMS makes the detector robust to noise bursts and
+// amplitude drift within a record.
+func windowedRMS(v []float64, win int) []float64 {
+	if win < 8 {
+		win = 8
+	}
+	out := make([]float64, len(v))
+	for start := 0; start < len(v); start += win {
+		end := start + win
+		if end > len(v) {
+			end = len(v)
+		}
+		var s float64
+		for _, x := range v[start:end] {
+			s += x * x
+		}
+		r := math.Sqrt(s / float64(end-start))
+		for i := start; i < end; i++ {
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// zeroCrossing returns the index of the sign change of w inside (lo, hi), or
+// -1 when w does not change sign there.
+func zeroCrossing(w []float64, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(w) {
+		hi = len(w) - 1
+	}
+	for i := lo; i < hi; i++ {
+		if w[i] == 0 {
+			return i
+		}
+		if (w[i] > 0) != (w[i+1] > 0) {
+			// Pick the sample closer to zero.
+			if math.Abs(w[i]) <= math.Abs(w[i+1]) {
+				return i
+			}
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// arbitrate enforces the refractory period: candidates closer than refract
+// keep only the largest-amplitude member.
+func arbitrate(cands []candidate, refract int) []int {
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].pos < cands[j].pos })
+	var kept []candidate
+	for _, c := range cands {
+		if len(kept) > 0 && c.pos-kept[len(kept)-1].pos < refract {
+			if c.amp > kept[len(kept)-1].amp {
+				kept[len(kept)-1] = c
+			}
+			continue
+		}
+		kept = append(kept, c)
+	}
+	out := make([]int, len(kept))
+	for i, c := range kept {
+		out[i] = c.pos
+	}
+	return out
+}
+
+// searchBack re-scans abnormally long RR gaps with relaxed thresholds,
+// recovering low-amplitude beats the first pass missed.
+func searchBack(peaks []int, s scales, c Config) []int {
+	rrs := make([]float64, 0, len(peaks)-1)
+	for i := 1; i < len(peaks); i++ {
+		rrs = append(rrs, float64(peaks[i]-peaks[i-1]))
+	}
+	med := median(rrs)
+	if med <= 0 {
+		return peaks
+	}
+	refract := int(c.RefractorySec * c.Fs)
+	out := append([]int(nil), peaks...)
+	for i := 1; i < len(peaks); i++ {
+		gap := float64(peaks[i] - peaks[i-1])
+		if gap < 1.66*med {
+			continue
+		}
+		lo, hi := peaks[i-1]+refract, peaks[i]-refract
+		if hi <= lo {
+			continue
+		}
+		sub := detectPass(s.slice(lo, hi), c, 0.5)
+		for _, cd := range arbitrate(sub, refract) {
+			out = append(out, lo+cd)
+		}
+	}
+	sort.Ints(out)
+	// Deduplicate anything the search-back re-found.
+	dedup := out[:0]
+	for _, p := range out {
+		if len(dedup) > 0 && p-dedup[len(dedup)-1] < refract {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	return dedup
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return 0.5 * (s[len(s)/2-1] + s[len(s)/2])
+}
+
+// Match compares detections against reference annotations with the given
+// tolerance (samples) and returns (truePositives, falsePositives,
+// falseNegatives). Each reference matches at most one detection.
+func Match(detected, reference []int, tol int) (tp, fp, fn int) {
+	used := make([]bool, len(detected))
+	for _, ref := range reference {
+		found := false
+		for i, det := range detected {
+			if used[i] {
+				continue
+			}
+			if det >= ref-tol && det <= ref+tol {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if found {
+			tp++
+		} else {
+			fn++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			fp++
+		}
+	}
+	return
+}

@@ -1,0 +1,170 @@
+package peak
+
+import (
+	"testing"
+
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/sigdsp"
+)
+
+// detectOnRecord runs the full front end (filter + detect) on lead 0 of a
+// synthetic record and returns detections plus reference peaks.
+func detectOnRecord(t *testing.T, spec ecgsyn.RecordSpec) (det []int, ref []int) {
+	t.Helper()
+	rec := ecgsyn.Synthesize(spec)
+	mv := rec.LeadMillivolts(0)
+	filtered := sigdsp.FilterECG(mv, sigdsp.DefaultBaselineConfig(rec.Fs))
+	det = Detect(filtered, Config{Fs: rec.Fs})
+	for _, a := range rec.Ann {
+		ref = append(ref, a.Sample)
+	}
+	return det, ref
+}
+
+func sensitivityPPV(det, ref []int, tol int) (se, ppv float64) {
+	tp, fp, fn := Match(det, ref, tol)
+	if tp+fn > 0 {
+		se = float64(tp) / float64(tp+fn)
+	}
+	if tp+fp > 0 {
+		ppv = float64(tp) / float64(tp+fp)
+	}
+	return
+}
+
+func TestDetectCleanRecord(t *testing.T) {
+	v := ecgsyn.DefaultVariability()
+	v.NoiseSDMin, v.NoiseSDMax = 0.005, 0.01
+	v.WanderAmpMax, v.MainsAmpMax, v.ArtifactProb = 0.02, 0, 0
+	det, ref := detectOnRecord(t, ecgsyn.RecordSpec{Name: "clean", Seconds: 120, Seed: 1, Var: &v})
+	se, ppv := sensitivityPPV(det, ref, 18) // +/- 50 ms
+	if se < 0.99 {
+		t.Fatalf("sensitivity %.4f on clean record, want >= 0.99 (%d det, %d ref)", se, len(det), len(ref))
+	}
+	if ppv < 0.99 {
+		t.Fatalf("PPV %.4f on clean record, want >= 0.99", ppv)
+	}
+}
+
+func TestDetectNoisyRecord(t *testing.T) {
+	det, ref := detectOnRecord(t, ecgsyn.RecordSpec{Name: "noisy", Seconds: 120, Seed: 2, PVCRate: 0.08})
+	se, ppv := sensitivityPPV(det, ref, 18)
+	if se < 0.97 {
+		t.Fatalf("sensitivity %.4f on default-noise record, want >= 0.97", se)
+	}
+	if ppv < 0.97 {
+		t.Fatalf("PPV %.4f, want >= 0.97", ppv)
+	}
+}
+
+func TestDetectLBBBRecord(t *testing.T) {
+	det, ref := detectOnRecord(t, ecgsyn.RecordSpec{Name: "lbbb", Seconds: 120, Seed: 3, LBBB: true})
+	se, ppv := sensitivityPPV(det, ref, 18)
+	if se < 0.95 {
+		t.Fatalf("sensitivity %.4f on LBBB record, want >= 0.95", se)
+	}
+	if ppv < 0.95 {
+		t.Fatalf("PPV %.4f, want >= 0.95", ppv)
+	}
+}
+
+func TestDetectPVCRecord(t *testing.T) {
+	det, ref := detectOnRecord(t, ecgsyn.RecordSpec{Name: "pvc", Seconds: 180, Seed: 4, PVCRate: 0.15})
+	se, ppv := sensitivityPPV(det, ref, 18)
+	if se < 0.96 {
+		t.Fatalf("sensitivity %.4f on PVC-heavy record, want >= 0.96", se)
+	}
+	if ppv < 0.96 {
+		t.Fatalf("PPV %.4f, want >= 0.96", ppv)
+	}
+}
+
+func TestDetectLocalizationAccuracy(t *testing.T) {
+	v := ecgsyn.DefaultVariability()
+	v.NoiseSDMin, v.NoiseSDMax = 0.005, 0.01
+	v.WanderAmpMax, v.MainsAmpMax, v.ArtifactProb = 0, 0, 0
+	det, ref := detectOnRecord(t, ecgsyn.RecordSpec{Name: "loc", Seconds: 60, Seed: 5, Var: &v})
+	// Mean |error| of matched peaks should be just a few samples.
+	var sum, n float64
+	for _, r := range ref {
+		bestD, best := 1<<30, -1
+		for _, d := range det {
+			if diff := abs(d - r); diff < bestD {
+				bestD, best = diff, d
+			}
+		}
+		if best >= 0 && bestD <= 18 {
+			sum += float64(bestD)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no matched peaks")
+	}
+	if mean := sum / n; mean > 6 {
+		t.Fatalf("mean localization error %.2f samples, want <= 6", mean)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDetectEmptyAndShort(t *testing.T) {
+	if got := Detect(nil, Config{}); got != nil {
+		t.Fatalf("nil input produced %v", got)
+	}
+	if got := Detect(make([]float64, 10), Config{}); got != nil {
+		t.Fatalf("short input produced %v", got)
+	}
+}
+
+func TestDetectFlatSignal(t *testing.T) {
+	if got := Detect(make([]float64, 3600), Config{}); len(got) != 0 {
+		t.Fatalf("flat signal produced %d detections", len(got))
+	}
+}
+
+func TestDetectOutputSorted(t *testing.T) {
+	det, _ := detectOnRecord(t, ecgsyn.RecordSpec{Name: "sort", Seconds: 60, Seed: 6})
+	for i := 1; i < len(det); i++ {
+		if det[i] <= det[i-1] {
+			t.Fatal("detections not strictly increasing")
+		}
+	}
+}
+
+func TestRefractorySpacing(t *testing.T) {
+	det, _ := detectOnRecord(t, ecgsyn.RecordSpec{Name: "rf", Seconds: 120, Seed: 7, PVCRate: 0.1})
+	minGap := 79 // 0.22 s at 360 Hz
+	for i := 1; i < len(det); i++ {
+		if det[i]-det[i-1] < minGap {
+			t.Fatalf("detections %d and %d closer than refractory period", det[i-1], det[i])
+		}
+	}
+}
+
+func TestMatchAccounting(t *testing.T) {
+	tp, fp, fn := Match([]int{100, 200, 300}, []int{102, 205, 400}, 10)
+	if tp != 2 || fp != 1 || fn != 1 {
+		t.Fatalf("tp=%d fp=%d fn=%d, want 2/1/1", tp, fp, fn)
+	}
+	// Each reference matches at most one detection.
+	tp, fp, fn = Match([]int{100, 101}, []int{100}, 5)
+	if tp != 1 || fp != 1 || fn != 0 {
+		t.Fatalf("duplicate detections: tp=%d fp=%d fn=%d, want 1/1/0", tp, fp, fn)
+	}
+}
+
+func BenchmarkDetect30s(b *testing.B) {
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "b", Seconds: 30, Seed: 1})
+	mv := rec.LeadMillivolts(0)
+	filtered := sigdsp.FilterECG(mv, sigdsp.DefaultBaselineConfig(rec.Fs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Detect(filtered, Config{Fs: rec.Fs})
+	}
+}

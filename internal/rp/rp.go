@@ -1,0 +1,275 @@
+// Package rp implements Achlioptas random projections, the dimensionality
+// reduction at the heart of Braojos et al. (DATE'13).
+//
+// A k×d projection matrix P has entries drawn i.i.d. from
+//
+//	+1 with probability 1/6
+//	-1 with probability 1/6
+//	 0 with probability 2/3
+//
+// (Achlioptas, JCSS 2003 — the sqrt(3) scale factor is dropped, as in the
+// paper, because only ratios matter downstream and integer arithmetic is
+// required on the sensor node). Projecting a beat window v of d samples
+// yields u = P·v: each output coefficient is a signed sum of a subset of the
+// input samples, computable with additions only.
+//
+// For the embedded target the matrix is stored 2 bits per element
+// (PackedMatrix), one quarter of an int8 matrix, as described in Sec. III-B
+// of the paper.
+package rp
+
+import (
+	"errors"
+	"fmt"
+
+	"rpbeat/internal/rng"
+)
+
+// Matrix is a dense k×d ternary projection matrix with elements in {-1,0,+1}.
+type Matrix struct {
+	K, D int
+	// El holds elements row-major: El[r*D+c].
+	El []int8
+}
+
+// NewRandom draws a k×d Achlioptas matrix from r.
+func NewRandom(r *rng.Rand, k, d int) *Matrix {
+	m := &Matrix{K: k, D: d, El: make([]int8, k*d)}
+	for i := range m.El {
+		m.El[i] = r.Trit()
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	el := make([]int8, len(m.El))
+	copy(el, m.El)
+	return &Matrix{K: m.K, D: m.D, El: el}
+}
+
+// At returns element (row, col).
+func (m *Matrix) At(row, col int) int8 { return m.El[row*m.D+col] }
+
+// Set assigns element (row, col); v must be in {-1, 0, +1}.
+func (m *Matrix) Set(row, col int, v int8) {
+	if v < -1 || v > 1 {
+		panic(fmt.Sprintf("rp: element %d outside {-1,0,1}", v))
+	}
+	m.El[row*m.D+col] = v
+}
+
+// Validate checks structural invariants.
+func (m *Matrix) Validate() error {
+	if m.K <= 0 || m.D <= 0 {
+		return errors.New("rp: non-positive dimensions")
+	}
+	if len(m.El) != m.K*m.D {
+		return fmt.Errorf("rp: element count %d != %d*%d", len(m.El), m.K, m.D)
+	}
+	for i, v := range m.El {
+		if v < -1 || v > 1 {
+			return fmt.Errorf("rp: element %d = %d outside {-1,0,1}", i, v)
+		}
+	}
+	return nil
+}
+
+// Project computes u = P·v for a float input. len(v) must equal D.
+func (m *Matrix) Project(v []float64) []float64 {
+	if len(v) != m.D {
+		panic(fmt.Sprintf("rp: input length %d != D=%d", len(v), m.D))
+	}
+	u := make([]float64, m.K)
+	for r := 0; r < m.K; r++ {
+		row := m.El[r*m.D : (r+1)*m.D]
+		var s float64
+		for c, e := range row {
+			switch e {
+			case 1:
+				s += v[c]
+			case -1:
+				s -= v[c]
+			}
+		}
+		u[r] = s
+	}
+	return u
+}
+
+// ProjectInt computes u = P·v for integer (ADC count) input, as executed on
+// the WBSN: additions and subtractions only, no multiplications.
+// Output coefficients fit comfortably in int32: |u_r| <= d * 2^11.
+func (m *Matrix) ProjectInt(v []int32) []int32 {
+	if len(v) != m.D {
+		panic(fmt.Sprintf("rp: input length %d != D=%d", len(v), m.D))
+	}
+	u := make([]int32, m.K)
+	for r := 0; r < m.K; r++ {
+		row := m.El[r*m.D : (r+1)*m.D]
+		var s int32
+		for c, e := range row {
+			switch e {
+			case 1:
+				s += v[c]
+			case -1:
+				s -= v[c]
+			}
+		}
+		u[r] = s
+	}
+	return u
+}
+
+// ProjectIntInto is ProjectInt writing into a caller-provided slice of
+// length K, avoiding allocation in the per-beat hot path.
+func (m *Matrix) ProjectIntInto(v []int32, u []int32) {
+	if len(v) != m.D || len(u) != m.K {
+		panic("rp: ProjectIntInto dimension mismatch")
+	}
+	for r := 0; r < m.K; r++ {
+		row := m.El[r*m.D : (r+1)*m.D]
+		var s int32
+		for c, e := range row {
+			switch e {
+			case 1:
+				s += v[c]
+			case -1:
+				s -= v[c]
+			}
+		}
+		u[r] = s
+	}
+}
+
+// NonZeros returns the number of non-zero elements (the projection's
+// addition count, i.e. its per-beat computational cost).
+func (m *Matrix) NonZeros() int {
+	n := 0
+	for _, v := range m.El {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ByteSize returns the storage footprint of the dense int8 representation.
+func (m *Matrix) ByteSize() int { return len(m.El) }
+
+// --- packed 2-bit representation ---
+
+// PackedMatrix stores a ternary matrix at 2 bits per element, the encoding
+// deployed on the WBSN (Sec. III-B: "1/4 of the memory with respect to a
+// corresponding matrix of 8-bit values"). Encoding per element:
+// 00 = 0, 01 = +1, 10 = -1 (11 unused).
+type PackedMatrix struct {
+	K, D int
+	Bits []byte // ceil(K*D/4) bytes, row-major, 4 elements per byte
+}
+
+// Pack converts a dense matrix to the 2-bit representation.
+func Pack(m *Matrix) *PackedMatrix {
+	n := m.K * m.D
+	p := &PackedMatrix{K: m.K, D: m.D, Bits: make([]byte, (n+3)/4)}
+	for i, v := range m.El {
+		var code byte
+		switch v {
+		case 1:
+			code = 0b01
+		case -1:
+			code = 0b10
+		}
+		p.Bits[i/4] |= code << uint((i%4)*2)
+	}
+	return p
+}
+
+// Unpack expands the packed matrix back to dense form.
+func (p *PackedMatrix) Unpack() (*Matrix, error) {
+	m := &Matrix{K: p.K, D: p.D, El: make([]int8, p.K*p.D)}
+	for i := range m.El {
+		code := (p.Bits[i/4] >> uint((i%4)*2)) & 0b11
+		switch code {
+		case 0b00:
+			m.El[i] = 0
+		case 0b01:
+			m.El[i] = 1
+		case 0b10:
+			m.El[i] = -1
+		default:
+			return nil, fmt.Errorf("rp: invalid packed code 11 at element %d", i)
+		}
+	}
+	return m, nil
+}
+
+// At returns element (row, col) of the packed matrix.
+func (p *PackedMatrix) At(row, col int) int8 {
+	i := row*p.D + col
+	code := (p.Bits[i/4] >> uint((i%4)*2)) & 0b11
+	switch code {
+	case 0b01:
+		return 1
+	case 0b10:
+		return -1
+	}
+	return 0
+}
+
+// ProjectInt computes u = P·v directly from the packed representation, as
+// the embedded code does (decode 2 bits, add/subtract).
+func (p *PackedMatrix) ProjectInt(v []int32) []int32 {
+	if len(v) != p.D {
+		panic(fmt.Sprintf("rp: input length %d != D=%d", len(v), p.D))
+	}
+	u := make([]int32, p.K)
+	p.ProjectIntInto(v, u)
+	return u
+}
+
+// ProjectIntInto is ProjectInt into a caller-provided slice.
+func (p *PackedMatrix) ProjectIntInto(v []int32, u []int32) {
+	if len(v) != p.D || len(u) != p.K {
+		panic("rp: ProjectIntInto dimension mismatch")
+	}
+	for r := 0; r < p.K; r++ {
+		var s int32
+		base := r * p.D
+		for c := 0; c < p.D; c++ {
+			i := base + c
+			code := (p.Bits[i/4] >> uint((i%4)*2)) & 0b11
+			switch code {
+			case 0b01:
+				s += v[c]
+			case 0b10:
+				s -= v[c]
+			}
+		}
+		u[r] = s
+	}
+}
+
+// ByteSize returns the storage footprint of the packed representation.
+func (p *PackedMatrix) ByteSize() int { return len(p.Bits) }
+
+// --- downsampling composition ---
+
+// DownsampleColumns returns a new matrix that operates on a signal
+// downsampled by the given factor: column c of the result corresponds to
+// column c*factor of m. It implements the memory reduction of Sec. III-B
+// ("if one every four samples of the acquired signal is considered, the size
+// of the matrix is reduced by a factor of four").
+func (m *Matrix) DownsampleColumns(factor int) *Matrix {
+	if factor <= 1 {
+		return m.Clone()
+	}
+	d2 := (m.D + factor - 1) / factor
+	out := &Matrix{K: m.K, D: d2, El: make([]int8, m.K*d2)}
+	for r := 0; r < m.K; r++ {
+		for c := 0; c < d2; c++ {
+			out.El[r*d2+c] = m.El[r*m.D+c*factor]
+		}
+	}
+	return out
+}

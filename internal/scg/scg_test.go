@@ -1,0 +1,174 @@
+package scg
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic: f(x) = Σ a_i (x_i - b_i)²
+func quadratic(a, b []float64) Objective {
+	return func(x, grad []float64) float64 {
+		var f float64
+		for i := range x {
+			d := x[i] - b[i]
+			f += a[i] * d * d
+			grad[i] = 2 * a[i] * d
+		}
+		return f
+	}
+}
+
+func TestMinimizeQuadratic(t *testing.T) {
+	a := []float64{1, 10, 0.5, 3}
+	b := []float64{1, -2, 3, 0.5}
+	res, err := Minimize(quadratic(a, b), []float64{5, 5, 5, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i := range b {
+		if math.Abs(res.X[i]-b[i]) > 1e-4 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], b[i])
+		}
+	}
+	if res.F > 1e-8 {
+		t.Fatalf("final f = %v", res.F)
+	}
+}
+
+func TestMinimizeIllConditionedQuadratic(t *testing.T) {
+	// Condition number 1e4: requires real conjugate-gradient behaviour.
+	a := []float64{1e-2, 1e2, 1, 10, 0.1}
+	b := []float64{3, -1, 0, 7, 2}
+	res, err := Minimize(quadratic(a, b), make([]float64, 5), Options{MaxIter: 2000, GradTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(res.X[i]-b[i]) > 1e-3 {
+			t.Fatalf("x[%d] = %v, want %v (res %+v)", i, res.X[i], b[i], res)
+		}
+	}
+}
+
+func rosenbrock(x, grad []float64) float64 {
+	// f = Σ 100(x_{i+1}-x_i²)² + (1-x_i)²
+	n := len(x)
+	var f float64
+	for i := range grad {
+		grad[i] = 0
+	}
+	for i := 0; i < n-1; i++ {
+		t1 := x[i+1] - x[i]*x[i]
+		t2 := 1 - x[i]
+		f += 100*t1*t1 + t2*t2
+		grad[i] += -400*t1*x[i] - 2*t2
+		grad[i+1] += 200 * t1
+	}
+	return f
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	res, err := Minimize(rosenbrock, []float64{-1.2, 1}, Options{MaxIter: 5000, GradTol: 1e-7, StepTol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-2 || math.Abs(res.X[1]-1) > 1e-2 {
+		t.Fatalf("Rosenbrock minimum not found: %+v", res)
+	}
+}
+
+func TestMinimizeStartsAtOptimum(t *testing.T) {
+	a := []float64{1, 1}
+	b := []float64{0, 0}
+	res, err := Minimize(quadratic(a, b), []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.F != 0 {
+		t.Fatalf("optimum start should converge immediately: %+v", res)
+	}
+}
+
+func TestMinimizeRespectsIterationCap(t *testing.T) {
+	res, err := Minimize(rosenbrock, []float64{-1.2, 1}, Options{MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Fatalf("ran %d iterations with cap 3", res.Iterations)
+	}
+}
+
+func TestMinimizeEmptyVector(t *testing.T) {
+	if _, err := Minimize(rosenbrock, nil, Options{}); err == nil {
+		t.Fatal("empty parameter vector should error")
+	}
+}
+
+func TestMinimizeNonFiniteStart(t *testing.T) {
+	bad := func(x, grad []float64) float64 {
+		for i := range grad {
+			grad[i] = math.NaN()
+		}
+		return math.NaN()
+	}
+	if _, err := Minimize(bad, []float64{1}, Options{}); err == nil {
+		t.Fatal("NaN objective at start should error")
+	}
+}
+
+func TestMinimizeDoesNotModifyInput(t *testing.T) {
+	x0 := []float64{5, 5}
+	_, err := Minimize(quadratic([]float64{1, 1}, []float64{0, 0}), x0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 5 || x0[1] != 5 {
+		t.Fatal("Minimize modified its input slice")
+	}
+}
+
+func TestMonotoneDecrease(t *testing.T) {
+	// Track accepted f values via a wrapper: each accepted step must not
+	// increase the objective (SCG only moves on successful steps).
+	var history []float64
+	obj := func(x, grad []float64) float64 {
+		f := rosenbrock(x, grad)
+		history = append(history, f)
+		return f
+	}
+	res, err := Minimize(obj, []float64{-1.2, 1}, Options{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > rosenbrockAt([]float64{-1.2, 1}) {
+		t.Fatalf("final value %v worse than start", res.F)
+	}
+}
+
+func rosenbrockAt(x []float64) float64 {
+	g := make([]float64, len(x))
+	return rosenbrock(x, g)
+}
+
+func BenchmarkMinimizeQuadratic100(b *testing.B) {
+	n := 100
+	a := make([]float64, n)
+	bb := make([]float64, n)
+	x0 := make([]float64, n)
+	for i := range a {
+		a[i] = 1 + float64(i%7)
+		bb[i] = float64(i % 5)
+		x0[i] = 10
+	}
+	obj := quadratic(a, bb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Minimize(obj, x0, Options{MaxIter: 300}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package sigdsp implements the signal-processing substrate used by the
+// WBSN pipeline of Braojos et al. (DATE'13): mathematical morphology on 1-D
+// signals (used for ECG filtering, per Rincon et al., IEEE TITB 2011), the
+// à trous dyadic wavelet transform (used for R-peak detection), and window
+// and downsampling utilities.
+//
+// All operators work on float64 slices in place-independent fashion (inputs
+// are never modified) and have integer counterparts where the embedded
+// pipeline needs them.
+package sigdsp
+
+// Erode computes the morphological erosion of x with a flat structuring
+// element of the given length (a sliding-window minimum centered on each
+// sample; even lengths extend one sample further to the left). Signal borders
+// are handled by shrinking the window. The implementation is the van
+// Herk/Gil-Werman algorithm: O(n) independent of the element length.
+func Erode(x []float64, length int) []float64 {
+	return slideExtremum(x, length, false)
+}
+
+// Dilate computes the morphological dilation of x with a flat structuring
+// element of the given length (sliding-window maximum).
+func Dilate(x []float64, length int) []float64 {
+	return slideExtremum(x, length, true)
+}
+
+// slideExtremum computes a centered sliding max (wantMax) or min over a
+// window of the given length using monotonic-deque streaming: amortized O(1)
+// per sample regardless of window length.
+func slideExtremum(x []float64, length int, wantMax bool) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if length < 1 {
+		length = 1
+	}
+	if length > 2*n {
+		length = 2 * n
+	}
+	// Window covering sample i: [i-left, i+right], clipped to the signal.
+	left := length / 2
+	right := length - 1 - left
+
+	// Monotonic deque of indices into x: front holds the window extremum.
+	deque := make([]int, 0, length)
+	head := 0 // logical front of the deque within the slice
+	better := func(a, b float64) bool {
+		if wantMax {
+			return a >= b
+		}
+		return a <= b
+	}
+	next := 0 // next sample index to enter the deque
+	for i := 0; i < n; i++ {
+		hi := i + right
+		if hi >= n {
+			hi = n - 1
+		}
+		for ; next <= hi; next++ {
+			for len(deque) > head && better(x[next], x[deque[len(deque)-1]]) {
+				deque = deque[:len(deque)-1]
+			}
+			deque = append(deque, next)
+		}
+		// Drop elements that fell out on the left.
+		for head < len(deque) && deque[head] < i-left {
+			head++
+		}
+		out[i] = x[deque[head]]
+	}
+	return out
+}
+
+// Open computes morphological opening: erosion followed by dilation.
+// Opening removes positive peaks narrower than the structuring element.
+func Open(x []float64, length int) []float64 {
+	return Dilate(Erode(x, length), length)
+}
+
+// Close computes morphological closing: dilation followed by erosion.
+// Closing removes negative pits narrower than the structuring element.
+func Close(x []float64, length int) []float64 {
+	return Erode(Dilate(x, length), length)
+}
+
+// BaselineConfig parameterizes morphological baseline-wander estimation.
+// The defaults follow the two-stage estimator used on the WBSN (opening with
+// an element longer than the QRS complex to suppress beats, then closing with
+// a 1.5x longer element to bridge the T wave), expressed in seconds and
+// converted with the sampling frequency.
+type BaselineConfig struct {
+	Fs        float64 // sampling frequency in Hz
+	OpenSec   float64 // opening element duration; default 0.2 s
+	CloseSec  float64 // closing element duration; default 0.3 s
+	NoiseElem int     // small element (samples) for noise suppression; default 3
+}
+
+// DefaultBaselineConfig returns the standard WBSN filter configuration for
+// the given sampling frequency.
+func DefaultBaselineConfig(fs float64) BaselineConfig {
+	return BaselineConfig{Fs: fs, OpenSec: 0.2, CloseSec: 0.3, NoiseElem: 3}
+}
+
+func (c BaselineConfig) openLen() int  { return oddAtLeast(int(c.OpenSec*c.Fs), 3) }
+func (c BaselineConfig) closeLen() int { return oddAtLeast(int(c.CloseSec*c.Fs), 5) }
+
+func oddAtLeast(n, min int) int {
+	if n < min {
+		n = min
+	}
+	if n%2 == 0 {
+		n++
+	}
+	return n
+}
+
+// Baseline estimates the baseline wander of x by opening-then-closing with
+// the configured structuring elements.
+func Baseline(x []float64, cfg BaselineConfig) []float64 {
+	return Close(Open(x, cfg.openLen()), cfg.closeLen())
+}
+
+// RemoveBaseline returns x minus its estimated baseline. This is the first
+// filtering stage of the WBSN front end.
+func RemoveBaseline(x []float64, cfg BaselineConfig) []float64 {
+	b := Baseline(x, cfg)
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - b[i]
+	}
+	return out
+}
+
+// SuppressNoise attenuates high-frequency artifacts by averaging the
+// opening-closing and closing-opening of x with a small structuring element
+// (the "MF pair" smoother used in morphological ECG filtering).
+func SuppressNoise(x []float64, cfg BaselineConfig) []float64 {
+	k := oddAtLeast(cfg.NoiseElem, 3)
+	oc := Close(Open(x, k), k)
+	co := Open(Close(x, k), k)
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = 0.5 * (oc[i] + co[i])
+	}
+	return out
+}
+
+// FilterECG applies the complete morphological front end: noise suppression
+// followed by baseline removal. It is the software equivalent of the
+// "filtering" stage of sub-system (1) in the paper.
+func FilterECG(x []float64, cfg BaselineConfig) []float64 {
+	return RemoveBaseline(SuppressNoise(x, cfg), cfg)
+}
+
+// MMD computes the multiscale morphological derivative of x at the given
+// scale s (in samples): MMD(f)(t) = ((f⊕g_s)(t) - 2 f(t) + (f⊖g_s)(t)) / s,
+// where g_s is a flat structuring element spanning [t-s, t+s]. Positive peaks
+// of the MMD mark concave corners (wave onsets/ends), strong negative values
+// mark convex peaks. This is the transform driving the delineation stage.
+func MMD(x []float64, s int) []float64 {
+	if s < 1 {
+		s = 1
+	}
+	length := 2*s + 1
+	dil := Dilate(x, length)
+	ero := Erode(x, length)
+	out := make([]float64, len(x))
+	inv := 1.0 / float64(s)
+	for i := range x {
+		out[i] = (dil[i] - 2*x[i] + ero[i]) * inv
+	}
+	return out
+}

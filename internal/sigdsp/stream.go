@@ -1,0 +1,169 @@
+package sigdsp
+
+// Streaming (sample-by-sample) versions of the front-end operators, matching
+// how the node actually consumes its ADC: bounded memory, O(1) amortized
+// work per sample, and an explicitly reported group delay so downstream
+// stages can align their sample indices with the batch implementations.
+//
+// The batch functions in this package are the reference; every streaming
+// operator is tested to produce bit-identical output (modulo the documented
+// warm-up region) against its batch counterpart.
+
+// StreamExtremum is a running windowed min or max over the last `length`
+// samples (Lemire's monotonic-wedge algorithm): O(1) amortized per sample
+// with at most `length` stored indices.
+type StreamExtremum struct {
+	length  int
+	wantMax bool
+	buf     []float64 // ring buffer of the last `length` samples
+	idx     []int     // monotonic deque of absolute indices
+	n       int       // samples consumed
+}
+
+// NewStreamMax returns a running maximum over `length` samples.
+func NewStreamMax(length int) *StreamExtremum { return newStreamExtremum(length, true) }
+
+// NewStreamMin returns a running minimum over `length` samples.
+func NewStreamMin(length int) *StreamExtremum { return newStreamExtremum(length, false) }
+
+func newStreamExtremum(length int, wantMax bool) *StreamExtremum {
+	if length < 1 {
+		length = 1
+	}
+	return &StreamExtremum{
+		length:  length,
+		wantMax: wantMax,
+		buf:     make([]float64, length),
+	}
+}
+
+// Push consumes one sample and returns the extremum of the trailing window
+// (shorter during warm-up).
+func (s *StreamExtremum) Push(x float64) float64 {
+	better := func(a, b float64) bool {
+		if s.wantMax {
+			return a >= b
+		}
+		return a <= b
+	}
+	s.buf[s.n%s.length] = x
+	for len(s.idx) > 0 && better(x, s.buf[s.idx[len(s.idx)-1]%s.length]) {
+		s.idx = s.idx[:len(s.idx)-1]
+	}
+	s.idx = append(s.idx, s.n)
+	if s.idx[0] <= s.n-s.length {
+		s.idx = s.idx[1:]
+	}
+	s.n++
+	return s.buf[s.idx[0]%s.length]
+}
+
+// Delay returns the number of samples by which the trailing-window output
+// lags a centered batch operator of the same length: (length-1)/2... the
+// exact alignment depends on the batch operator's window split; see
+// StreamErode/StreamDilate which handle it.
+func (s *StreamExtremum) Delay() int { return s.length / 2 }
+
+// StreamMorph runs a centered erosion or dilation as a stream: output sample
+// i (in input coordinates) becomes available after Delay() further input
+// samples have arrived.
+type StreamMorph struct {
+	ex    *StreamExtremum
+	right int // trailing window must extend this far past the center
+	n     int
+}
+
+// NewStreamErode returns a streaming erosion with a flat element of the
+// given length, aligned with Erode.
+func NewStreamErode(length int) *StreamMorph {
+	if length < 1 {
+		length = 1
+	}
+	return &StreamMorph{ex: newStreamExtremum(length, false), right: length - 1 - length/2}
+}
+
+// NewStreamDilate returns a streaming dilation aligned with Dilate.
+func NewStreamDilate(length int) *StreamMorph {
+	if length < 1 {
+		length = 1
+	}
+	return &StreamMorph{ex: newStreamExtremum(length, true), right: length - 1 - length/2}
+}
+
+// Delay returns how many input samples arrive before output sample 0.
+func (m *StreamMorph) Delay() int { return m.right }
+
+// Push consumes one sample. It returns the next output sample and true once
+// the pipeline has filled (after Delay() samples), or 0 and false before.
+// Note the border semantics differ from the batch operator only in the first
+// Delay() outputs (the batch version shrinks its window at the left border;
+// the stream has no access to "future" samples and therefore emits the
+// trailing-window result there).
+func (m *StreamMorph) Push(x float64) (float64, bool) {
+	v := m.ex.Push(x)
+	m.n++
+	if m.n <= m.right {
+		return 0, false
+	}
+	return v, true
+}
+
+// StreamFilter chains the complete morphological front end (noise
+// suppression + baseline removal) as a fixed-latency stream. It composes
+// the four cascaded opening/closing stages; the total latency is the sum of
+// the stage delays.
+type StreamFilter struct {
+	stages []*StreamMorph
+	// rawDelay delays the input so the final subtraction x - baseline
+	// aligns with the cascade's group delay.
+	rawDelay []float64
+	rawPos   int
+	total    int
+}
+
+// NewStreamFilter builds the streaming front end for cfg. The current
+// implementation mirrors RemoveBaseline (opening then closing); streaming
+// noise suppression would add the dual chain and an averaging stage, which
+// block processing covers in this repository.
+func NewStreamFilter(cfg BaselineConfig) *StreamFilter {
+	openL := cfg.openLen()
+	closeL := cfg.closeLen()
+	stages := []*StreamMorph{
+		NewStreamErode(openL), NewStreamDilate(openL),
+		NewStreamDilate(closeL), NewStreamErode(closeL),
+	}
+	total := 0
+	for _, s := range stages {
+		total += s.Delay()
+	}
+	return &StreamFilter{
+		stages:   stages,
+		rawDelay: make([]float64, total+1),
+		total:    total,
+	}
+}
+
+// Delay returns the filter's group delay in samples.
+func (f *StreamFilter) Delay() int { return f.total }
+
+// Push consumes one raw sample and, once the pipeline is primed, emits one
+// baseline-removed sample (aligned to input index n - Delay()).
+func (f *StreamFilter) Push(x float64) (float64, bool) {
+	// Delay the raw signal by the cascade latency.
+	f.rawDelay[f.rawPos%len(f.rawDelay)] = x
+	delayedIdx := f.rawPos - f.total
+	f.rawPos++
+
+	v, ok := x, true
+	for _, s := range f.stages {
+		v, ok = s.Push(v)
+		if !ok {
+			return 0, false
+		}
+	}
+	if delayedIdx < 0 {
+		return 0, false
+	}
+	raw := f.rawDelay[delayedIdx%len(f.rawDelay)]
+	return raw - v, true
+}

@@ -1,0 +1,180 @@
+package sigdsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rpbeat/internal/rng"
+)
+
+func TestStreamExtremumMatchesTrailingWindow(t *testing.T) {
+	r := rng.New(1)
+	for _, length := range []int{1, 2, 3, 7, 32} {
+		x := randomSignal(r, 300)
+		sMax := NewStreamMax(length)
+		sMin := NewStreamMin(length)
+		for i := range x {
+			gotMax := sMax.Push(x[i])
+			gotMin := sMin.Push(x[i])
+			lo := i - length + 1
+			if lo < 0 {
+				lo = 0
+			}
+			wantMax, wantMin := x[lo], x[lo]
+			for j := lo + 1; j <= i; j++ {
+				if x[j] > wantMax {
+					wantMax = x[j]
+				}
+				if x[j] < wantMin {
+					wantMin = x[j]
+				}
+			}
+			if gotMax != wantMax {
+				t.Fatalf("len %d sample %d: max %v want %v", length, i, gotMax, wantMax)
+			}
+			if gotMin != wantMin {
+				t.Fatalf("len %d sample %d: min %v want %v", length, i, gotMin, wantMin)
+			}
+		}
+	}
+}
+
+func TestStreamMorphMatchesBatchAfterWarmup(t *testing.T) {
+	r := rng.New(2)
+	for _, length := range []int{3, 5, 9, 31} {
+		x := randomSignal(r, 400)
+		batchE := Erode(x, length)
+		batchD := Dilate(x, length)
+		sm := NewStreamErode(length)
+		sd := NewStreamDilate(length)
+		var gotE, gotD []float64
+		for _, v := range x {
+			if o, ok := sm.Push(v); ok {
+				gotE = append(gotE, o)
+			}
+			if o, ok := sd.Push(v); ok {
+				gotD = append(gotD, o)
+			}
+		}
+		// Output i corresponds to input i; the stream cannot produce the
+		// final Delay() samples (their windows need future input) and its
+		// first Delay() outputs use a trailing (not centered) window.
+		warm := length // covers the left-border semantic difference
+		if len(gotE) != len(x)-sm.Delay() {
+			t.Fatalf("len %d: stream emitted %d samples, want %d", length, len(gotE), len(x)-sm.Delay())
+		}
+		for i := warm; i < len(gotE); i++ {
+			if gotE[i] != batchE[i] {
+				t.Fatalf("len %d: erosion sample %d: stream %v batch %v", length, i, gotE[i], batchE[i])
+			}
+			if gotD[i] != batchD[i] {
+				t.Fatalf("len %d: dilation sample %d: stream %v batch %v", length, i, gotD[i], batchD[i])
+			}
+		}
+	}
+}
+
+func TestStreamMorphPropertyEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		length := 3 + r.Intn(20)
+		x := randomSignal(r, 100+r.Intn(100))
+		batch := Erode(x, length)
+		s := NewStreamErode(length)
+		var got []float64
+		for _, v := range x {
+			if o, ok := s.Push(v); ok {
+				got = append(got, o)
+			}
+		}
+		for i := length; i < len(got); i++ {
+			if got[i] != batch[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamFilterMatchesBatchBaselineRemoval(t *testing.T) {
+	// The streaming front end must agree with RemoveBaseline away from the
+	// record borders.
+	fs := 360.0
+	cfg := DefaultBaselineConfig(fs)
+	n := 3600
+	x := make([]float64, n)
+	for i := range x {
+		ts := float64(i) / fs
+		x[i] = 0.6*math.Sin(2*math.Pi*0.25*ts) + 0.9*math.Exp(-sq(math.Mod(ts, 0.8)-0.4)/0.0008)
+	}
+	batch := RemoveBaseline(x, cfg)
+	f := NewStreamFilter(cfg)
+	var got []float64
+	for _, v := range x {
+		if o, ok := f.Push(v); ok {
+			got = append(got, o)
+		}
+	}
+	if len(got) != n-f.Delay() {
+		t.Fatalf("stream emitted %d samples, want %d", len(got), n-f.Delay())
+	}
+	// Skip the warm-up region (one full cascade support).
+	warm := 2 * f.Delay()
+	var maxErr float64
+	for i := warm; i < len(got); i++ {
+		if e := math.Abs(got[i] - batch[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-9 {
+		t.Fatalf("stream/batch divergence %.3g after warm-up", maxErr)
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func TestStreamFilterDelayReported(t *testing.T) {
+	cfg := DefaultBaselineConfig(360)
+	f := NewStreamFilter(cfg)
+	if f.Delay() <= 0 {
+		t.Fatal("non-positive delay")
+	}
+	// No output before Delay() samples.
+	emitted := 0
+	for i := 0; i < f.Delay(); i++ {
+		if _, ok := f.Push(0); ok {
+			emitted++
+		}
+	}
+	if emitted != 0 {
+		t.Fatalf("emitted %d samples before the pipeline filled", emitted)
+	}
+	if _, ok := f.Push(0); !ok {
+		t.Fatal("no output after the pipeline filled")
+	}
+}
+
+func TestStreamExtremumBoundedMemory(t *testing.T) {
+	s := NewStreamMax(16)
+	r := rng.New(9)
+	for i := 0; i < 10000; i++ {
+		s.Push(r.Norm())
+		if len(s.idx) > 16 {
+			t.Fatalf("deque grew to %d entries for a 16-sample window", len(s.idx))
+		}
+	}
+}
+
+func BenchmarkStreamFilterPerSample(b *testing.B) {
+	f := NewStreamFilter(DefaultBaselineConfig(360))
+	r := rng.New(1)
+	x := randomSignal(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Push(x[i&4095])
+	}
+}

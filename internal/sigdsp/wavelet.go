@@ -1,0 +1,195 @@
+package sigdsp
+
+import "math"
+
+// Dyadic à trous wavelet transform with the quadratic-spline wavelet of
+// Mallat & Zhong, the standard choice for QRS detection (Martinez et al.;
+// Rincon et al., IEEE TITB 2011, used on the IcyHeart node). The transform
+// produces detail signals W[1..K] at scales 2^1..2^K. QRS complexes appear
+// as maximum-minimum pairs of |W| across adjacent scales, with the R peak at
+// the zero crossing in between.
+//
+// Filters (non-normalized integer-friendly form):
+//
+//	lowpass  h = (1/8)[1 3 3 1]
+//	highpass g = 2[1 -1]
+//
+// At scale j the filters are upsampled by inserting 2^(j-1)-1 zeros between
+// taps ("à trous"/with holes), so no decimation occurs and every scale stays
+// sample-aligned with the input, which is what allows zero-crossing peak
+// localization directly in input coordinates.
+
+// DWT holds the detail signals of a dyadic à trous decomposition.
+type DWT struct {
+	// W[j] is the detail signal at scale 2^(j+1); len(W) == levels.
+	W [][]float64
+	// A is the final approximation (lowpass residue).
+	A []float64
+}
+
+// filter delay compensation: the causal convolution with the centered
+// quadratic-spline filters introduces a known group delay per scale; the
+// implementation below uses symmetric (centered) indexing so that wavelet
+// extrema align with the generating signal features.
+
+// AtrousDWT computes `levels` detail scales of x. Border samples are handled
+// by edge replication. Typical use for 360 Hz ECG is levels = 4.
+func AtrousDWT(x []float64, levels int) DWT {
+	n := len(x)
+	d := DWT{W: make([][]float64, levels)}
+	approx := make([]float64, n)
+	copy(approx, x)
+
+	at := func(s []float64, i int) float64 {
+		if i < 0 {
+			return s[0]
+		}
+		if i >= n {
+			return s[n-1]
+		}
+		return s[i]
+	}
+
+	for j := 0; j < levels; j++ {
+		gap := 1 << j // hole spacing at this level
+		w := make([]float64, n)
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Highpass g = 2[1 -1]: forward difference over one hole spacing;
+			// the half-gap shift below re-centers it on i.
+			w[i] = 2 * (at(approx, i+gap) - at(approx, i))
+			// Lowpass h = (1/8)[1 3 3 1] centered on i with spacing gap.
+			next[i] = (at(approx, i-gap) + 3*at(approx, i) +
+				3*at(approx, i+gap) + at(approx, i+2*gap)) / 8
+		}
+		// Recenter w: the forward difference above estimates the derivative
+		// at i+gap/2; shift by gap/2 to align zero crossings with peaks.
+		if half := gap / 2; half > 0 {
+			shifted := make([]float64, n)
+			for i := 0; i < n; i++ {
+				shifted[i] = w[minInt(i+half, n-1)]
+			}
+			w = shifted
+		}
+		// Recenter the approximation too: the 4-tap [1 3 3 1] support spans
+		// offsets {-gap, 0, +gap, +2gap}, putting its center of mass at
+		// +gap/2. Without compensation the drift compounds across levels and
+		// coarse-scale features (hence detections) shift by tens of samples.
+		if half := gap / 2; half > 0 {
+			shifted := make([]float64, n)
+			for i := 0; i < n; i++ {
+				shifted[i] = next[minInt(i+half, n-1)]
+			}
+			next = shifted
+		}
+		d.W[j] = w
+		approx = next
+	}
+	d.A = approx
+	return d
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Downsample returns every factor-th sample of x starting at offset 0.
+// It implements the 4x rate reduction (360 Hz -> 90 Hz) used by the embedded
+// classifier to shrink the projection matrix.
+func Downsample(x []float64, factor int) []float64 {
+	if factor <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// DownsampleInt is Downsample for integer (ADC count) signals.
+func DownsampleInt(x []int32, factor int) []int32 {
+	if factor <= 1 {
+		out := make([]int32, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]int32, 0, (len(x)+factor-1)/factor)
+	for i := 0; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Window extracts the samples [center-before, center+after) from x,
+// replicating edge samples when the window exceeds the signal. The paper's
+// beat window is before = after = 100 samples at 360 Hz.
+func Window(x []float64, center, before, after int) []float64 {
+	out := make([]float64, before+after)
+	n := len(x)
+	for i := range out {
+		j := center - before + i
+		if j < 0 {
+			j = 0
+		}
+		if j >= n {
+			j = n - 1
+		}
+		if n == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = x[j]
+	}
+	return out
+}
+
+// WindowInt is Window for integer signals.
+func WindowInt(x []int32, center, before, after int) []int32 {
+	out := make([]int32, before+after)
+	n := len(x)
+	for i := range out {
+		j := center - before + i
+		if j < 0 {
+			j = 0
+		}
+		if j >= n {
+			j = n - 1
+		}
+		if n == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = x[j]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// RMS returns the root-mean-square of x (0 for empty input).
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

@@ -1,0 +1,7 @@
+package wfdb
+
+import "os"
+
+// Thin wrappers so the corruption test reads naturally.
+func osReadFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+func osWriteFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
