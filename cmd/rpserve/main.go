@@ -1,0 +1,149 @@
+// Command rpserve serves the embedded heartbeat classifier over HTTP: batch
+// classification of whole records and online NDJSON streaming, backed by a
+// shared model registry and a worker-pool engine that multiplexes any number
+// of concurrent patient streams (internal/pipeline).
+//
+// Usage:
+//
+//	rpserve -model default=model.json -addr :8080
+//	rpserve -model pc=float.json -model wbsn=embedded.bin -default wbsn
+//	rpserve -demo          # no trained model at hand: train a small one
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness
+//	GET  /v1/models           registered models and their footprints
+//	POST /v1/classify         {"model":"...","samples":[...]} -> beats JSON
+//	POST /v1/stream?model=m   NDJSON chunks in, NDJSON beats out (chunked)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rpbeat/internal/beatset"
+	"rpbeat/internal/core"
+	"rpbeat/internal/fixp"
+	"rpbeat/internal/pipeline"
+	"rpbeat/internal/serve"
+)
+
+func loadModel(path string) (*core.Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte("RPBT")) {
+		return core.ReadBinary(bytes.NewReader(data))
+	}
+	var m core.Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// trainDemo trains a reduced-scale model so the server can start without any
+// artifacts on disk (a few seconds of CPU; for real use, train with
+// cmd/rptrain and pass -model).
+func trainDemo(seed uint64) (*core.Embedded, error) {
+	ds, err := beatset.Build(beatset.Config{Seed: seed, Scale: 0.03})
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := core.Train(ds, core.Config{
+		Coeffs: 8, Downsample: 4, PopSize: 6, Generations: 3,
+		SCGIters: 60, MinARR: 0.9, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Quantize(fixp.MFLinear)
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "engine worker goroutines (0 = NumCPU)")
+		deflt   = flag.String("default", "", "default model name (default: first registered)")
+		demo    = flag.Bool("demo", false, "train a small demo model at startup")
+	)
+	// Flag order decides registration order (and the default model when
+	// -default is not given), so keep a slice, not a map.
+	type namedModel struct{ name, path string }
+	var models []namedModel
+	flag.Func("model", "register a model as name=path (repeatable; json or binary)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		models = append(models, namedModel{name, path})
+		return nil
+	})
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("rpserve: ")
+
+	reg := pipeline.NewRegistry()
+	var names []string
+	for _, nm := range models {
+		m, err := loadModel(nm.path)
+		if err != nil {
+			log.Fatalf("load %s: %v", nm.path, err)
+		}
+		emb, err := m.Quantize(fixp.MFLinear)
+		if err != nil {
+			log.Fatalf("quantize %s: %v", nm.path, err)
+		}
+		if err := reg.Register(nm.name, emb); err != nil {
+			log.Fatalf("register %s: %v", nm.name, err)
+		}
+		log.Printf("model %q: k=%d d=%d downsample=%d, %d bytes on-node",
+			nm.name, emb.K, emb.D, emb.Downsample, emb.MemoryBytes())
+		names = append(names, nm.name)
+	}
+	if *demo {
+		log.Printf("training demo model (reduced scale)...")
+		start := time.Now()
+		emb, err := trainDemo(1)
+		if err != nil {
+			log.Fatalf("demo training: %v", err)
+		}
+		if err := reg.Register("demo", emb); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("model %q trained in %v: k=%d d=%d, %d bytes on-node",
+			"demo", time.Since(start).Round(time.Millisecond), emb.K, emb.D, emb.MemoryBytes())
+		names = append(names, "demo")
+	}
+	if len(names) == 0 {
+		log.Fatal("no models: pass -model name=path (see cmd/rptrain) or -demo")
+	}
+	def := *deflt
+	if def == "" {
+		def = names[0]
+	}
+	if _, err := reg.Get(def); err != nil {
+		log.Fatalf("default model: %v", err)
+	}
+
+	eng := pipeline.NewEngine(reg, pipeline.EngineConfig{Workers: *workers})
+	defer eng.Close()
+
+	log.Printf("serving on %s (default model %q)", *addr, def)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(eng, def),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

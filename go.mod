@@ -1,0 +1,3 @@
+module rpbeat
+
+go 1.24

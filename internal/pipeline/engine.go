@@ -1,0 +1,277 @@
+package pipeline
+
+// Engine multiplexes many independent patient streams over a fixed worker
+// pool — the serving shape of the ROADMAP's north star. Each stream owns one
+// Pipeline; a stream is only ever run by one worker at a time (so pipelines
+// need no locks and per-stream ordering is preserved), while different
+// streams run in parallel across the pool. Models are shared through a
+// Registry: core.Embedded is read-only after Quantize, so any number of
+// streams can classify against the same tables concurrently.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rpbeat/internal/core"
+)
+
+// Registry is a concurrency-safe, named collection of embedded models.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*core.Embedded
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*core.Embedded)}
+}
+
+// Register validates and adds a model under name, replacing any previous
+// holder of the name.
+func (r *Registry) Register(name string, emb *core.Embedded) error {
+	if name == "" {
+		return errors.New("pipeline: empty model name")
+	}
+	if emb == nil {
+		return errors.New("pipeline: nil model")
+	}
+	if err := emb.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = emb
+	return nil
+}
+
+// Get returns the named model.
+func (r *Registry) Get(name string) (*core.Embedded, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	emb, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: unknown model %q", name)
+	}
+	return emb, nil
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EngineConfig sizes the engine.
+type EngineConfig struct {
+	// Workers bounds concurrent stream processing; default NumCPU.
+	Workers int
+}
+
+// streamState is the scheduling state of a Stream, guarded by Engine.mu.
+type streamState uint8
+
+const (
+	stateIdle    streamState = iota // no pending work, not queued
+	stateQueued                     // in the run queue
+	stateRunning                    // a worker is processing it
+	stateDirty                      // running, and new work arrived meanwhile
+)
+
+// Engine runs streams over its worker pool.
+type Engine struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	runq     []*Stream
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// NewEngine starts an engine over the registry's models.
+func NewEngine(reg *Registry, cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	e := &Engine{reg: reg}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Registry returns the engine's model registry.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// Stream is one patient's sample feed into the engine. Send and Close may be
+// called from any goroutine (but not concurrently with each other); the sink
+// is invoked serially, in input order, from worker goroutines.
+type Stream struct {
+	eng  *Engine
+	pipe *Pipeline
+	sink func([]BeatResult)
+
+	// Guarded by eng.mu.
+	state   streamState
+	fifo    [][]int32
+	closing bool
+	flushed bool
+
+	done chan struct{}
+}
+
+// Open creates a stream classifying against the named model. The sink
+// receives every batch of finalized beats; the slice passed to it is only
+// valid for the duration of the call.
+func (e *Engine) Open(model string, cfg Config, sink func([]BeatResult)) (*Stream, error) {
+	emb, err := e.reg.Get(model)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := New(emb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sink == nil {
+		sink = func([]BeatResult) {}
+	}
+	return &Stream{eng: e, pipe: pipe, sink: sink, done: make(chan struct{})}, nil
+}
+
+// Send enqueues a chunk of raw ADC samples. The slice is copied, so the
+// caller may reuse it immediately.
+func (s *Stream) Send(samples []int32) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	chunk := make([]int32, len(samples))
+	copy(chunk, samples)
+
+	e := s.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s.closing {
+		return errors.New("pipeline: send on closed stream")
+	}
+	if e.shutdown {
+		return errors.New("pipeline: engine closed")
+	}
+	s.fifo = append(s.fifo, chunk)
+	e.schedule(s)
+	return nil
+}
+
+// Close flushes the stream (the final beats reach the sink before Close
+// returns) and releases it. Further Sends fail. Streams must be closed
+// before the engine is.
+func (s *Stream) Close() error {
+	e := s.eng
+	e.mu.Lock()
+	if s.closing {
+		e.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	if e.shutdown {
+		e.mu.Unlock()
+		return errors.New("pipeline: engine closed")
+	}
+	s.closing = true
+	e.schedule(s)
+	e.mu.Unlock()
+	<-s.done
+	return nil
+}
+
+// Pipeline exposes the underlying pipeline for delay/memory accounting.
+// Mutating calls (Push, Flush) are the engine's alone; callers may only use
+// read-only accessors such as Delay and MemoryBytes.
+func (s *Stream) Pipeline() *Pipeline { return s.pipe }
+
+// schedule queues the stream if it is not already queued or running.
+// Callers must hold e.mu.
+func (e *Engine) schedule(s *Stream) {
+	switch s.state {
+	case stateIdle:
+		s.state = stateQueued
+		e.runq = append(e.runq, s)
+		e.cond.Signal()
+	case stateRunning:
+		s.state = stateDirty
+	}
+}
+
+// Close shuts the worker pool down after the queue drains. Streams should be
+// Closed first; chunks still queued are processed, but un-Closed streams are
+// never flushed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.shutdown = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.runq) == 0 && !e.shutdown {
+			e.cond.Wait()
+		}
+		if len(e.runq) == 0 && e.shutdown {
+			e.mu.Unlock()
+			return
+		}
+		s := e.runq[0]
+		e.runq = e.runq[1:]
+		s.state = stateRunning
+		chunks := s.fifo
+		s.fifo = nil
+		flush := s.closing && !s.flushed
+		if flush {
+			s.flushed = true
+		}
+		e.mu.Unlock()
+
+		// Exclusive access to the pipeline: the state machine guarantees no
+		// other worker holds this stream.
+		for _, chunk := range chunks {
+			for _, v := range chunk {
+				if beats := s.pipe.Push(v); len(beats) > 0 {
+					s.sink(beats)
+				}
+			}
+		}
+		if flush {
+			if beats := s.pipe.Flush(); len(beats) > 0 {
+				s.sink(beats)
+			}
+		}
+
+		e.mu.Lock()
+		requeue := s.state == stateDirty || len(s.fifo) > 0 || (s.closing && !s.flushed)
+		if requeue {
+			s.state = stateQueued
+			e.runq = append(e.runq, s)
+			e.cond.Signal()
+		} else {
+			s.state = stateIdle
+		}
+		e.mu.Unlock()
+		if flush {
+			close(s.done)
+		}
+	}
+}

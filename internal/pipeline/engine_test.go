@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"rpbeat/internal/ecgsyn"
+)
+
+// TestEngineMatchesSequential drives several concurrent patient streams
+// through a shared worker pool and checks every stream's output against a
+// sequential single-pipeline run of the same record. Run under -race (CI
+// does) this is also the engine's race-detector test.
+func TestEngineMatchesSequential(t *testing.T) {
+	emb := testModel(t)
+	reg := NewRegistry()
+	if err := reg.Register("a", emb); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("b", emb); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(reg, EngineConfig{Workers: 4})
+	defer eng.Close()
+
+	const streams = 6
+	type result struct {
+		got  []BeatResult
+		want []BeatResult
+	}
+	results := make([]result, streams)
+
+	var wg sync.WaitGroup
+	for si := 0; si < streams; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{
+				Name: "e", Seconds: 45, Seed: uint64(100 + si), PVCRate: 0.1,
+			})
+			lead := rec.Leads[0]
+
+			// Sequential reference.
+			pipe, err := New(emb, Config{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, v := range lead {
+				results[si].want = append(results[si].want, pipe.Push(v)...)
+			}
+			results[si].want = append(results[si].want, pipe.Flush()...)
+
+			// Engine run, alternating models, chunked with uneven sizes.
+			model := "a"
+			if si%2 == 1 {
+				model = "b"
+			}
+			st, err := eng.Open(model, Config{}, func(beats []BeatResult) {
+				results[si].got = append(results[si].got, beats...)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			chunk := 360 + 97*si
+			for off := 0; off < len(lead); off += chunk {
+				end := off + chunk
+				if end > len(lead) {
+					end = len(lead)
+				}
+				if err := st.Send(lead[off:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Error(err)
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	for si, r := range results {
+		if len(r.got) != len(r.want) {
+			t.Fatalf("stream %d: engine emitted %d beats, sequential %d", si, len(r.got), len(r.want))
+		}
+		for i := range r.want {
+			if r.got[i] != r.want[i] {
+				t.Fatalf("stream %d beat %d: engine %+v != sequential %+v", si, i, r.got[i], r.want[i])
+			}
+		}
+		if len(r.want) == 0 {
+			t.Fatalf("stream %d: no beats at all", si)
+		}
+	}
+}
+
+func TestEngineStreamLifecycle(t *testing.T) {
+	emb := testModel(t)
+	reg := NewRegistry()
+	if err := reg.Register("only", emb); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(reg, EngineConfig{Workers: 2})
+
+	if _, err := eng.Open("missing", Config{}, nil); err == nil {
+		t.Fatal("expected an unknown-model error")
+	}
+
+	st, err := eng.Open("only", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(make([]int32, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(make([]int32, 1)); err == nil {
+		t.Fatal("expected send-on-closed-stream to fail")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	eng.Close()
+	if err := st.Send(make([]int32, 1)); err == nil {
+		t.Fatal("expected send after engine shutdown to fail")
+	}
+	if _, err := eng.Open("only", Config{}, nil); err != nil {
+		// Open still works mechanically after Close; streams just cannot run.
+		t.Logf("open after close: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	emb := testModel(t)
+	reg := NewRegistry()
+	if err := reg.Register("", emb); err == nil {
+		t.Fatal("expected empty-name rejection")
+	}
+	if err := reg.Register("x", nil); err == nil {
+		t.Fatal("expected nil-model rejection")
+	}
+	if err := reg.Register("zeta", emb); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("alpha", emb); err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Names() = %v", names)
+	}
+	if _, err := reg.Get("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("nope"); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	emb := testModel(b)
+	reg := NewRegistry()
+	if err := reg.Register("m", emb); err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(reg, EngineConfig{})
+	defer eng.Close()
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "bt", Seconds: 30, Seed: 4, PVCRate: 0.1})
+	lead := rec.Leads[0]
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	const streams = 8
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st, err := eng.Open("m", Config{}, nil)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for off := 0; off < len(lead); off += 1024 {
+					end := off + 1024
+					if end > len(lead) {
+						end = len(lead)
+					}
+					if err := st.Send(lead[off:end]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if err := st.Close(); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.SetBytes(int64(streams * len(lead) * 4))
+}

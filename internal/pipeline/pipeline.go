@@ -1,0 +1,271 @@
+// Package pipeline chains the library's streaming operators into an online
+// heartbeat classification engine: raw ADC samples go in one at a time, and
+// classified beats come out as soon as they are final — the deployment shape
+// of the paper's WBSN node (sub-systems (1) and (3) of Fig. 6) and the
+// substrate the serving layer (cmd/rpserve) builds on.
+//
+// The stages are the exact streaming counterparts of the batch path that
+// internal/wbsn runs over whole records:
+//
+//	raw ADC sample
+//	  └─ millivolt conversion
+//	       └─ sigdsp.StreamECGFilter   (noise suppression + baseline removal)
+//	            └─ peak.StreamDetector (à trous scales, adaptive thresholds,
+//	               modulus-maxima pairing, refractory arbitration)
+//	                 └─ beat window from the raw-sample ring
+//	                      └─ downsampling → core.Embedded (integer RP + NFC)
+//
+// Each stage reports its group delay, every buffer is a fixed-size ring, and
+// the whole pipeline is bit-identical to the batch reference (BatchClassify)
+// except within Delay() samples of the record end, where batch thresholds
+// use future samples a stream cannot see. TestPipelineMatchesBatch holds the
+// two paths to beat-for-beat equality.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"rpbeat/internal/core"
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/fixp"
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/peak"
+	"rpbeat/internal/sigdsp"
+)
+
+// Config parameterizes a streaming pipeline. The zero value selects the
+// paper's deployment: 360 Hz, MIT-BIH ADC geometry, 100+100-sample beat
+// windows.
+type Config struct {
+	// Fs is the sampling frequency; default ecgsyn.Fs (360 Hz).
+	Fs float64
+	// Gain (ADC units per millivolt) and ADCZero convert raw counts for the
+	// detection path; classification consumes raw counts directly, as on
+	// the node. Leaving Gain unset (<= 0) selects the MIT-BIH geometry
+	// (ecgsyn.Gain / ecgsyn.Baseline). Setting Gain takes ADCZero as given,
+	// so a zero baseline (signed, centered ADC counts) is expressible.
+	Gain    float64
+	ADCZero int32
+	// Before/After set the beat window around the R peak; defaults 100/100.
+	Before, After int
+	// Peak tunes the detector. Fs is filled from Config.Fs and SearchBackOff
+	// is forced on: search-back needs the record-wide median RR, which does
+	// not exist online (use internal/wbsn for retrospective batch analysis).
+	Peak peak.Config
+	// Baseline tunes the morphological filter; zero value takes
+	// sigdsp.DefaultBaselineConfig(Fs).
+	Baseline sigdsp.BaselineConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fs <= 0 {
+		c.Fs = ecgsyn.Fs
+	}
+	if c.Gain <= 0 {
+		c.Gain = ecgsyn.Gain
+		if c.ADCZero == 0 {
+			c.ADCZero = ecgsyn.Baseline
+		}
+	}
+	if c.Before <= 0 {
+		c.Before = 100
+	}
+	if c.After <= 0 {
+		c.After = 100
+	}
+	c.Peak.Fs = c.Fs
+	c.Peak.SearchBackOff = true
+	if c.Baseline.Fs <= 0 {
+		c.Baseline = sigdsp.DefaultBaselineConfig(c.Fs)
+	}
+	return c
+}
+
+// BeatResult is one classified beat.
+type BeatResult struct {
+	// Peak is the R-peak position, as a sample index into the input stream.
+	Peak int
+	// Decision is the integer classifier's verdict (N, L, V or U).
+	Decision nfc.Decision
+	// DetectedAt is the index of the input sample whose arrival finalized
+	// this beat; DetectedAt-Peak is the end-to-end latency in samples.
+	DetectedAt int
+}
+
+// Pipeline is a single-stream online classifier. It is not safe for
+// concurrent use; Engine multiplexes many pipelines over a worker pool.
+type Pipeline struct {
+	emb    *core.Embedded
+	cfg    Config
+	filter *sigdsp.StreamECGFilter
+	det    *peak.StreamDetector
+
+	raw     []int32 // ring of raw ADC counts
+	n       int     // samples consumed
+	flushed bool
+
+	window []int32 // scratch: assembled beat window
+	ds     []int32 // scratch: downsampled window
+	u      []int32 // scratch: projected coefficients
+	grades []uint16
+	out    []BeatResult
+}
+
+// New builds a pipeline around a validated embedded classifier.
+func New(emb *core.Embedded, cfg Config) (*Pipeline, error) {
+	if emb == nil {
+		return nil, errors.New("pipeline: nil classifier")
+	}
+	if err := emb.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	if want := dimAfter(c.Before+c.After, emb.Downsample); want != emb.D {
+		return nil, fmt.Errorf("pipeline: window %d+%d at downsample %d gives dimension %d, model wants %d",
+			c.Before, c.After, emb.Downsample, want, emb.D)
+	}
+	det, err := peak.NewStreamDetector(c.Peak)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		emb:    emb,
+		cfg:    c,
+		filter: sigdsp.NewStreamECGFilter(c.Baseline),
+		det:    det,
+		window: make([]int32, c.Before+c.After),
+		ds:     make([]int32, emb.D),
+		u:      make([]int32, emb.K),
+		grades: make([]uint16, emb.K*fixp.NumClasses),
+	}
+	// The ring must still hold sample max(0, peak-Before) when a peak
+	// finalizes, at worst Delay() samples after the peak position.
+	p.raw = make([]int32, nextPow2(p.Delay()+c.Before+c.After+64))
+	return p, nil
+}
+
+func dimAfter(n, downsample int) int {
+	if downsample <= 1 {
+		return n
+	}
+	return (n + downsample - 1) / downsample
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Delay returns the worst-case latency, in input samples, between an R peak
+// entering the pipeline and its classified beat being emitted: the filter's
+// group delay plus the detector's finalization bound.
+func (p *Pipeline) Delay() int {
+	return p.filter.Delay() + p.det.Delay()
+}
+
+// MemoryBytes reports the pipeline's fixed working set: the raw ring, the
+// classifier tables and the scratch buffers. It does not grow with stream
+// length (asserted by TestPipelineBoundedMemory).
+func (p *Pipeline) MemoryBytes() int {
+	return 4*len(p.raw) + p.emb.MemoryBytes() +
+		4*(len(p.window)+len(p.ds)+len(p.u)) + 2*len(p.grades)
+}
+
+// Samples returns how many input samples the pipeline has consumed.
+func (p *Pipeline) Samples() int { return p.n }
+
+// Push consumes one raw ADC sample and returns the beats it finalized
+// (usually none — beats surface in bursts as threshold windows complete).
+// The returned slice is reused by the next call; copy it to retain.
+func (p *Pipeline) Push(sample int32) []BeatResult {
+	p.out = p.out[:0]
+	p.raw[p.n%len(p.raw)] = sample
+	p.n++
+	mv := float64(sample-p.cfg.ADCZero) / p.cfg.Gain
+	y, ok := p.filter.Push(mv)
+	if !ok {
+		return nil
+	}
+	for _, pk := range p.det.Push(y) {
+		p.classify(pk)
+	}
+	return p.out
+}
+
+// Flush ends the stream, draining the detector's final threshold window and
+// pending candidate. Push must not be called afterwards.
+func (p *Pipeline) Flush() []BeatResult {
+	p.out = p.out[:0]
+	if p.flushed {
+		return nil
+	}
+	p.flushed = true
+	for _, pk := range p.det.Flush() {
+		p.classify(pk)
+	}
+	return p.out
+}
+
+// classify cuts the beat window out of the raw ring (with the same edge
+// replication as sigdsp.WindowInt), downsamples and runs the integer
+// RP + NFC classifier.
+func (p *Pipeline) classify(pk int) {
+	for i := range p.window {
+		j := pk - p.cfg.Before + i
+		if j < 0 {
+			j = 0
+		}
+		if j >= p.n {
+			j = p.n - 1
+		}
+		p.window[i] = p.raw[j%len(p.raw)]
+	}
+	f := p.emb.Downsample
+	if f <= 1 {
+		copy(p.ds, p.window)
+	} else {
+		for i, k := 0, 0; k < len(p.window); i, k = i+1, k+f {
+			p.ds[i] = p.window[k]
+		}
+	}
+	p.emb.P.ProjectIntInto(p.ds, p.u)
+	d := p.emb.Cls.ClassifyInto(p.u, p.emb.AlphaTest, p.grades)
+	p.out = append(p.out, BeatResult{Peak: pk, Decision: d, DetectedAt: p.n - 1})
+}
+
+// BatchClassify is the whole-record reference path: the exact batch
+// operators (sigdsp.FilterECG, peak.Detect with search-back off,
+// sigdsp.WindowInt + DownsampleInt, core.Embedded.Classify) in the
+// configuration a Pipeline streams. The streaming results are bit-identical
+// to it away from the record tail; it also serves the /v1/classify endpoint,
+// where the whole record is available up front.
+func BatchClassify(emb *core.Embedded, lead []int32, cfg Config) ([]BeatResult, error) {
+	if emb == nil {
+		return nil, errors.New("pipeline: nil classifier")
+	}
+	if err := emb.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	if want := dimAfter(c.Before+c.After, emb.Downsample); want != emb.D {
+		return nil, fmt.Errorf("pipeline: window %d+%d at downsample %d gives dimension %d, model wants %d",
+			c.Before, c.After, emb.Downsample, want, emb.D)
+	}
+	mv := make([]float64, len(lead))
+	for i, v := range lead {
+		mv[i] = float64(v-c.ADCZero) / c.Gain
+	}
+	filtered := sigdsp.FilterECG(mv, c.Baseline)
+	peaks := peak.Detect(filtered, c.Peak)
+	out := make([]BeatResult, 0, len(peaks))
+	for _, pk := range peaks {
+		w := sigdsp.WindowInt(lead, pk, c.Before, c.After)
+		w = sigdsp.DownsampleInt(w, emb.Downsample)
+		out = append(out, BeatResult{Peak: pk, Decision: emb.Classify(w), DetectedAt: len(lead) - 1})
+	}
+	return out, nil
+}

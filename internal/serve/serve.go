@@ -1,0 +1,240 @@
+// Package serve is the HTTP surface of the classification service, shared
+// by cmd/rpserve and examples/serve. Two data paths:
+//
+//   - POST /v1/classify — whole-record batch classification (the exact batch
+//     reference path, pipeline.BatchClassify): one JSON request in, one JSON
+//     response out.
+//   - POST /v1/stream — online classification over NDJSON: the client sends
+//     lines of {"samples":[...]} chunks as they are acquired; the server
+//     answers with one NDJSON line per finalized beat, flushed as soon as
+//     the streaming pipeline emits it, and a final {"done":true} summary.
+//
+// Plus GET /v1/models (registry inventory) and GET /healthz.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/pipeline"
+)
+
+// maxClassifyBytes bounds a /v1/classify request body (~1 hour of one lead
+// as JSON numbers).
+const maxClassifyBytes = 64 << 20
+
+// maxStreamLineBytes bounds one NDJSON chunk line on /v1/stream.
+const maxStreamLineBytes = 8 << 20
+
+type server struct {
+	eng          *pipeline.Engine
+	defaultModel string
+}
+
+func NewHandler(eng *pipeline.Engine, defaultModel string) http.Handler {
+	s := &server{eng: eng, defaultModel: defaultModel}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /v1/models", s.models)
+	mux.HandleFunc("POST /v1/classify", s.classify)
+	mux.HandleFunc("POST /v1/stream", s.stream)
+	return mux
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Coeffs      int    `json:"k"`
+	Dim         int    `json:"d"`
+	Downsample  int    `json:"downsample"`
+	MemoryBytes int    `json:"memoryBytes"`
+	Default     bool   `json:"default,omitempty"`
+}
+
+func (s *server) models(w http.ResponseWriter, r *http.Request) {
+	reg := s.eng.Registry()
+	out := make([]ModelInfo, 0)
+	for _, name := range reg.Names() {
+		emb, err := reg.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, ModelInfo{
+			Name: name, Coeffs: emb.K, Dim: emb.D, Downsample: emb.Downsample,
+			MemoryBytes: emb.MemoryBytes(), Default: name == s.defaultModel,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type ClassifyRequest struct {
+	Model   string  `json:"model,omitempty"`
+	Samples []int32 `json:"samples"`
+}
+
+type Beat struct {
+	Sample int    `json:"sample"`
+	Class  string `json:"class"`
+}
+
+type ClassifyResponse struct {
+	Model  string         `json:"model"`
+	Total  int            `json:"total"`
+	Counts map[string]int `json:"counts"`
+	Beats  []Beat         `json:"beats"`
+}
+
+func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	body := http.MaxBytesReader(w, r.Body, maxClassifyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Samples) == 0 {
+		httpError(w, http.StatusBadRequest, "no samples")
+		return
+	}
+	name := req.Model
+	if name == "" {
+		name = s.defaultModel
+	}
+	emb, err := s.eng.Registry().Get(name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	beats, err := pipeline.BatchClassify(emb, req.Samples, pipeline.Config{})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := ClassifyResponse{Model: name, Total: len(beats), Counts: countDecisions(beats), Beats: make([]Beat, len(beats))}
+	for i, b := range beats {
+		resp.Beats[i] = Beat{Sample: b.Peak, Class: b.Decision.String()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type StreamChunk struct {
+	Samples []int32 `json:"samples"`
+}
+
+type StreamBeat struct {
+	Sample     int    `json:"sample"`
+	Class      string `json:"class"`
+	DetectedAt int    `json:"detectedAt"`
+}
+
+type StreamDone struct {
+	Done    bool `json:"done"`
+	Beats   int  `json:"beats"`
+	Samples int  `json:"samples"`
+}
+
+// stream is the chunked NDJSON path: each request is one patient stream,
+// classified online by the engine's worker pool while the request body is
+// still being read.
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		name = s.defaultModel
+	}
+	if _, err := s.eng.Registry().Get(name); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	// Beat lines go out while the request body is still uploading; without
+	// full duplex the HTTP/1 server discards the rest of the body on the
+	// first response write.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil && r.ProtoMajor == 1 {
+		httpError(w, http.StatusInternalServerError, "full-duplex streaming unsupported: %v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	writeLine := func(v any) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(v)
+		rc.Flush()
+	}
+
+	beats := 0
+	st, err := s.eng.Open(name, pipeline.Config{}, func(res []pipeline.BeatResult) {
+		for _, b := range res {
+			writeLine(StreamBeat{Sample: b.Peak, Class: b.Decision.String(), DetectedAt: b.DetectedAt})
+		}
+		beats += len(res) // sink calls are serialized per stream
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	samples := 0
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxStreamLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var chunk StreamChunk
+		if err := json.Unmarshal(line, &chunk); err != nil {
+			st.Close()
+			writeLine(map[string]string{"error": fmt.Sprintf("bad chunk: %v", err)})
+			return
+		}
+		samples += len(chunk.Samples)
+		if err := st.Send(chunk.Samples); err != nil {
+			st.Close() // no sink writes may outlive this handler
+			writeLine(map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		st.Close()
+		writeLine(map[string]string{"error": err.Error()})
+		return
+	}
+	// Close drains the pipeline; every remaining beat hits the sink before
+	// it returns, so the summary line is genuinely last.
+	if err := st.Close(); err != nil {
+		writeLine(map[string]string{"error": err.Error()})
+		return
+	}
+	writeLine(StreamDone{Done: true, Beats: beats, Samples: samples})
+}
+
+func countDecisions(beats []pipeline.BeatResult) map[string]int {
+	counts := map[string]int{
+		nfc.DecideN.String(): 0, nfc.DecideL.String(): 0,
+		nfc.DecideV.String(): 0, nfc.DecideU.String(): 0,
+	}
+	for _, b := range beats {
+		counts[b.Decision.String()]++
+	}
+	return counts
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rpbeat/internal/beatset"
+	"rpbeat/internal/core"
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/fixp"
+	"rpbeat/internal/pipeline"
+)
+
+var (
+	embOnce sync.Once
+	embVal  *core.Embedded
+	embErr  error
+)
+
+func testEmbedded(t *testing.T) *core.Embedded {
+	t.Helper()
+	embOnce.Do(func() {
+		ds, err := beatset.Build(beatset.Config{Seed: 31, Scale: 0.03})
+		if err != nil {
+			embErr = err
+			return
+		}
+		m, _, err := core.Train(ds, core.Config{
+			Coeffs: 8, Downsample: 4, PopSize: 4, Generations: 2,
+			SCGIters: 50, MinARR: 0.9, Seed: 31,
+		})
+		if err != nil {
+			embErr = err
+			return
+		}
+		embVal, embErr = m.Quantize(fixp.MFLinear)
+	})
+	if embErr != nil {
+		t.Fatal(embErr)
+	}
+	return embVal
+}
+
+func testServer(t *testing.T) (*httptest.Server, *core.Embedded) {
+	t.Helper()
+	emb := testEmbedded(t)
+	reg := pipeline.NewRegistry()
+	if err := reg.Register("default", emb); err != nil {
+		t.Fatal(err)
+	}
+	eng := pipeline.NewEngine(reg, pipeline.EngineConfig{Workers: 2})
+	ts := httptest.NewServer(NewHandler(eng, "default"))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return ts, emb
+}
+
+func TestHealthAndModels(t *testing.T) {
+	ts, emb := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(models) != 1 || models[0].Name != "default" || !models[0].Default {
+		t.Fatalf("models = %+v", models)
+	}
+	if models[0].Coeffs != emb.K || models[0].MemoryBytes != emb.MemoryBytes() {
+		t.Fatalf("model info mismatch: %+v", models[0])
+	}
+}
+
+func TestClassifyMatchesBatchPath(t *testing.T) {
+	ts, emb := testServer(t)
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "s", Seconds: 60, Seed: 8, PVCRate: 0.15})
+
+	body, _ := json.Marshal(ClassifyRequest{Samples: rec.Leads[0]})
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("classify: %d: %s", resp.StatusCode, raw)
+	}
+	var got ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := pipeline.BatchClassify(emb, rec.Leads[0], pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != len(want) || len(got.Beats) != len(want) {
+		t.Fatalf("server found %d beats, reference %d", got.Total, len(want))
+	}
+	for i, b := range want {
+		if got.Beats[i].Sample != b.Peak || got.Beats[i].Class != b.Decision.String() {
+			t.Fatalf("beat %d: server (%d,%s) != reference (%d,%v)",
+				i, got.Beats[i].Sample, got.Beats[i].Class, b.Peak, b.Decision)
+		}
+	}
+	if got.Total == 0 {
+		t.Fatal("no beats classified")
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(`{"samples":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty samples: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/classify", "application/json",
+		strings.NewReader(`{"model":"nope","samples":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", resp.StatusCode)
+	}
+}
+
+func TestStreamMatchesSequentialPipeline(t *testing.T) {
+	ts, emb := testServer(t)
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "st", Seconds: 60, Seed: 9, PVCRate: 0.1})
+	lead := rec.Leads[0]
+
+	// Sequential reference over the same samples.
+	pipe, err := pipeline.New(emb, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []pipeline.BeatResult
+	for _, v := range lead {
+		want = append(want, pipe.Push(v)...)
+	}
+	want = append(want, pipe.Flush()...)
+
+	// NDJSON request body: one chunk per second of signal.
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for off := 0; off < len(lead); off += 360 {
+		end := off + 360
+		if end > len(lead) {
+			end = len(lead)
+		}
+		if err := enc.Encode(StreamChunk{Samples: lead[off:end]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %d", resp.StatusCode)
+	}
+
+	var got []StreamBeat
+	var done StreamDone
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"error"`)) {
+			t.Fatalf("server error line: %s", line)
+		}
+		if bytes.Contains(line, []byte(`"done"`)) {
+			if err := json.Unmarshal(line, &done); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var b StreamBeat
+		if err := json.Unmarshal(line, &b); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done || done.Samples != len(lead) || done.Beats != len(got) {
+		t.Fatalf("summary %+v (got %d beats, sent %d samples)", done, len(got), len(lead))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream endpoint emitted %d beats, sequential pipeline %d", len(got), len(want))
+	}
+	for i, b := range want {
+		if got[i].Sample != b.Peak || got[i].Class != b.Decision.String() {
+			t.Fatalf("beat %d: endpoint (%d,%s) != pipeline (%d,%v)",
+				i, got[i].Sample, got[i].Class, b.Peak, b.Decision)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no beats streamed")
+	}
+}
+
+func TestStreamUnknownModel(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/stream?model=nope", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", resp.StatusCode)
+	}
+}
+
+func TestStreamBadChunk(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/x-ndjson", strings.NewReader("{not json}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(raw, []byte(`"error"`)) {
+		t.Fatalf("expected an error line, got: %s", raw)
+	}
+}
