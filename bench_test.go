@@ -16,6 +16,7 @@ import (
 	"rpbeat/internal/experiments"
 	"rpbeat/internal/fixp"
 	"rpbeat/internal/peak"
+	"rpbeat/internal/pipeline"
 	"rpbeat/internal/platform"
 	"rpbeat/internal/rng"
 	"rpbeat/internal/rp"
@@ -196,6 +197,62 @@ func BenchmarkKernel_ProjectionDense_8x50(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.ProjectIntInto(v, u)
+	}
+}
+
+func BenchmarkKernel_ProjectionSparse_8x50(b *testing.B) {
+	r := rng.New(1)
+	m := rp.NewSparse(rp.NewRandom(r, 8, 50))
+	v := make([]int32, 50)
+	for i := range v {
+		v[i] = int32(r.Intn(2048))
+	}
+	u := make([]int32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ProjectIntInto(v, u)
+	}
+}
+
+// BenchmarkKernel_PipelinePushSteadyState measures the per-sample cost of
+// the full online pipeline after warm-up. allocs/op must be 0 — the
+// invariant TestPipelinePushZeroAlloc enforces and the Engine's
+// many-streams story depends on.
+func BenchmarkKernel_PipelinePushSteadyState(b *testing.B) {
+	_, _, emb, _ := benchSetup(b)
+	pipe, err := pipeline.New(emb, pipeline.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "push", Seconds: 60, Seed: 6, PVCRate: 0.1})
+	lead := rec.Leads[0]
+	for _, v := range lead {
+		pipe.Push(v)
+	}
+	next := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.Push(lead[next])
+		next++
+		if next == len(lead) {
+			next = 0
+		}
+	}
+}
+
+// BenchmarkKernel_BatchClassify30s is the /v1/classify serving shape: one
+// whole record through the batch reference path with pooled scratch.
+func BenchmarkKernel_BatchClassify30s(b *testing.B) {
+	_, _, emb, _ := benchSetup(b)
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "batch", Seconds: 30, Seed: 7, PVCRate: 0.1})
+	lead := rec.Leads[0]
+	var scratch pipeline.BatchScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.BatchClassifyInto(emb, lead, pipeline.Config{}, &scratch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

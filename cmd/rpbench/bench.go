@@ -1,0 +1,272 @@
+package main
+
+// The -json mode: a machine-readable benchmark harness. It runs the node
+// kernels (projection in all three matrix representations, the integer
+// classifier) and the end-to-end serving paths (streaming Pipeline.Push,
+// batch classification) under testing.Benchmark, and writes the results as
+// BENCH_<n>.json — the repository's tracked performance trajectory (see
+// BENCHMARKS.md for the schema and how each entry maps to the paper).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"rpbeat/internal/core"
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/fixp"
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/pipeline"
+	"rpbeat/internal/rng"
+	"rpbeat/internal/rp"
+)
+
+// benchSchema identifies the BENCH_*.json format.
+const benchSchema = "rpbeat-bench-v1"
+
+// benchFile is the root JSON document.
+type benchFile struct {
+	Schema    string          `json:"schema"`
+	Created   string          `json:"created"` // RFC 3339, UTC
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Results   []benchResult   `json:"benchmarks"`
+	Pipeline  pipelineMetrics `json:"pipeline"`
+	Matrix    matrixBytes     `json:"matrix_bytes"`
+}
+
+// benchResult is one testing.Benchmark run.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// pipelineMetrics are the throughput figures derived from the streaming
+// benchmark: how fast one core consumes a 360 Hz single-lead stream.
+type pipelineMetrics struct {
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	BeatsPerSec   float64 `json:"beats_per_sec"`
+	// RealtimeStreams is SamplesPerSec / 360: how many concurrent real-time
+	// patient streams one core sustains.
+	RealtimeStreams float64 `json:"realtime_streams"`
+	AllocsPerPush   int64   `json:"allocs_per_push"`
+}
+
+// matrixBytes records the storage cost of the paper-configuration (8×50)
+// projection matrix in each representation (DESIGN.md, "kernel memory
+// layouts").
+type matrixBytes struct {
+	K        int `json:"k"`
+	D        int `json:"d"`
+	Dense    int `json:"dense"`
+	Packed   int `json:"packed"`
+	Sparse   int `json:"sparse"`
+	NonZeros int `json:"non_zeros"`
+}
+
+// benchEmbedded fabricates a structurally valid quantized classifier without
+// running the GA: kernel timing is data-independent (the integer pipeline is
+// branch-free except defuzzification), so a random matrix and plausible MF
+// parameters measure the same code the trained model runs.
+func benchEmbedded(r *rng.Rand, k, d, downsample int) (*core.Embedded, error) {
+	mf := nfc.NewParams(k)
+	for i := range mf.C {
+		mf.C[i] = float64(r.Intn(4000) - 2000)
+		mf.Sigma[i] = 200 + float64(r.Intn(800))
+	}
+	m := &core.Model{
+		K: k, D: d, Downsample: downsample,
+		P:  rp.NewRandom(r, k, d),
+		MF: mf, AlphaTrain: 0.1, MinARR: 0.97,
+	}
+	return m.Quantize(fixp.MFLinear)
+}
+
+// record converts a testing.BenchmarkResult into the JSON row.
+func record(name string, res testing.BenchmarkResult) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// benchInput draws one beat-window-sized input of 11-bit ADC counts.
+func benchInput(r *rng.Rand, d int) []int32 {
+	v := make([]int32, d)
+	for i := range v {
+		v[i] = int32(r.Intn(2048))
+	}
+	return v
+}
+
+// runJSONBench runs the suite and writes BENCH_<n>.json under dir, returning
+// the path written.
+func runJSONBench(dir string) (string, error) {
+	var out benchFile
+	out.Schema = benchSchema
+	out.Created = time.Now().UTC().Format(time.RFC3339)
+	out.GoVersion = runtime.Version()
+	out.GOOS = runtime.GOOS
+	out.GOARCH = runtime.GOARCH
+	out.NumCPU = runtime.NumCPU()
+
+	// --- projection kernels, paper configuration (k=8, d=50) and the
+	// largest Table II configuration (k=32) ---
+	for _, k := range []int{8, 32} {
+		const d = 50
+		r := rng.New(1)
+		m := rp.NewRandom(r, k, d)
+		p := rp.Pack(m)
+		s := rp.NewSparse(m)
+		v := benchInput(r, d)
+		u := make([]int32, k)
+		name := fmt.Sprintf("%dx%d", k, d)
+		out.Results = append(out.Results,
+			record("kernel/projection_dense_"+name, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m.ProjectIntInto(v, u)
+				}
+			})),
+			record("kernel/projection_packed_"+name, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p.ProjectIntInto(v, u)
+				}
+			})),
+			record("kernel/projection_sparse_"+name, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s.ProjectIntInto(v, u)
+				}
+			})),
+		)
+		if k == 8 {
+			out.Matrix = matrixBytes{
+				K: k, D: d,
+				Dense:    m.ByteSize(),
+				Packed:   p.ByteSize(),
+				Sparse:   s.ByteSize(),
+				NonZeros: m.NonZeros(),
+			}
+		}
+	}
+
+	// --- integer classifier per beat (projection + grades + fuzzify +
+	// defuzzify, the paper's per-beat node work after windowing) ---
+	{
+		r := rng.New(2)
+		emb, err := benchEmbedded(r, 8, 50, 4)
+		if err != nil {
+			return "", err
+		}
+		v := benchInput(r, 50)
+		u := make([]int32, emb.K)
+		grades := make([]uint16, emb.Cls.GradeBufLen())
+		out.Results = append(out.Results,
+			record("kernel/classify_per_beat_8x50", testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					emb.ClassifyInto(v, u, grades)
+				}
+			})))
+	}
+
+	// --- end-to-end streaming: Pipeline.Push steady state ---
+	{
+		r := rng.New(3)
+		emb, err := benchEmbedded(r, 8, 50, 4)
+		if err != nil {
+			return "", err
+		}
+		rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "bench", Seconds: 60, Seed: 11, PVCRate: 0.1})
+		lead := rec.Leads[0]
+		var beats int
+		var pushRes testing.BenchmarkResult
+		pushRes = testing.Benchmark(func(b *testing.B) {
+			pipe, err := pipeline.New(emb, pipeline.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range lead { // warm-up: rings and FIFOs at capacity
+				pipe.Push(s)
+			}
+			beats = 0
+			next := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				beats += len(pipe.Push(lead[next]))
+				next++
+				if next == len(lead) {
+					next = 0
+				}
+			}
+		})
+		out.Results = append(out.Results, record("pipeline/push_steady_state", pushRes))
+		secs := pushRes.T.Seconds()
+		out.Pipeline = pipelineMetrics{
+			SamplesPerSec:   float64(pushRes.N) / secs,
+			BeatsPerSec:     float64(beats) / secs,
+			RealtimeStreams: float64(pushRes.N) / secs / ecgsyn.Fs,
+			AllocsPerPush:   pushRes.AllocsPerOp(),
+		}
+
+		// --- end-to-end batch: the /v1/classify serving shape ---
+		var scratch pipeline.BatchScratch
+		out.Results = append(out.Results,
+			record("pipeline/batch_classify_30s", testing.Benchmark(func(b *testing.B) {
+				half := lead[:len(lead)/2] // 30 s of the 60 s record
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pipeline.BatchClassifyInto(emb, half, pipeline.Config{}, &scratch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})))
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path, err := nextBenchPath(dir)
+	if err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// nextBenchPath returns dir/BENCH_<n>.json for the smallest n >= 1 that does
+// not exist yet, so successive runs append to the trajectory instead of
+// overwriting it.
+func nextBenchPath(dir string) (string, error) {
+	for n := 1; n < 100000; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("rpbench: no free BENCH_<n>.json slot under %s", dir)
+}

@@ -19,7 +19,13 @@ type Embedded struct {
 	K, D       int
 	Downsample int
 	P          *rp.PackedMatrix
-	Cls        *fixp.Classifier
+	// S is the sparse (non-zero index) form of P, the projection kernel the
+	// host-side hot path uses: bit-identical to P's, ~d/3 additions per
+	// coefficient instead of d element decodes. It is derived from P by
+	// Quantize; a hand-built Embedded may leave it nil, in which case the
+	// packed kernel is used. Never serialized (P is the ROM image).
+	S   *rp.SparseMatrix
+	Cls *fixp.Classifier
 	// AlphaTest is the run-time defuzzification coefficient. It starts as
 	// the quantized α_train but can be retuned independently (Sec. III-B:
 	// "it is possible to tune the defuzzification coefficient α_test
@@ -43,6 +49,7 @@ func (m *Model) Quantize(kind fixp.MFKind) (*Embedded, error) {
 		D:          m.D,
 		Downsample: m.Downsample,
 		P:          rp.Pack(m.P),
+		S:          rp.NewSparse(m.P),
 		Cls:        cls,
 		AlphaTest:  fixp.AlphaToQ15(m.AlphaTrain),
 	}, nil
@@ -60,14 +67,42 @@ func (e *Embedded) Validate() error {
 		return fmt.Errorf("core: embedded dimensions inconsistent (K=%d D=%d, P %dx%d, cls K=%d)",
 			e.K, e.D, e.P.K, e.P.D, e.Cls.K)
 	}
+	if e.S != nil {
+		if e.S.K != e.K || e.S.D != e.D {
+			return fmt.Errorf("core: sparse projection %dx%d does not match K=%d D=%d",
+				e.S.K, e.S.D, e.K, e.D)
+		}
+		if err := e.S.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
+// ProjectIntInto runs the integer projection through the fastest available
+// representation (sparse when present, packed otherwise) into a caller-owned
+// slice of length K. All representations yield bit-identical results.
+func (e *Embedded) ProjectIntInto(window []int32, u []int32) {
+	if e.S != nil {
+		e.S.ProjectIntInto(window, u)
+		return
+	}
+	e.P.ProjectIntInto(window, u)
+}
+
 // Classify runs the integer pipeline on one beat window of int32 ADC counts
-// (already downsampled to length D).
+// (already downsampled to length D). It allocates scratch per call; hot
+// paths should hold buffers and use ClassifyInto.
 func (e *Embedded) Classify(window []int32) nfc.Decision {
-	u := e.P.ProjectInt(window)
-	return e.Cls.Classify(u, e.AlphaTest)
+	return e.ClassifyInto(window, make([]int32, e.K), make([]uint16, e.Cls.GradeBufLen()))
+}
+
+// ClassifyInto is Classify with caller-provided scratch — u of length K and
+// grades of length Cls.GradeBufLen() — the zero-allocation per-beat path
+// that pipeline.Pipeline and the serving layer run.
+func (e *Embedded) ClassifyInto(window []int32, u []int32, grades []uint16) nfc.Decision {
+	e.ProjectIntInto(window, u)
+	return e.Cls.ClassifyInto(u, e.AlphaTest, grades)
 }
 
 // Evaluate runs the integer pipeline over the indexed beats, returning
@@ -77,10 +112,10 @@ func (e *Embedded) Evaluate(ds *beatset.Dataset, idx []int) []metrics.Eval {
 	labels := ds.Labels(idx)
 	evals := make([]metrics.Eval, len(idx))
 	u := make([]int32, e.K)
-	grades := make([]uint16, e.K*fixp.NumClasses)
+	grades := make([]uint16, e.Cls.GradeBufLen())
 	for i, b := range idx {
 		w := ds.IntWindow(b, e.Downsample)
-		e.P.ProjectIntInto(w, u)
+		e.ProjectIntInto(w, u)
 		fv := e.Cls.FuzzyValues(u, grades)
 		evals[i] = metrics.Eval{
 			Label: labels[i],
@@ -93,7 +128,19 @@ func (e *Embedded) Evaluate(ds *beatset.Dataset, idx []int) []metrics.Eval {
 }
 
 // MemoryBytes reports the data footprint the node must hold: the packed
-// projection matrix plus the MF parameter tables.
+// projection matrix plus the MF parameter tables. The host-side sparse
+// kernel is not part of it — see HostBytes.
 func (e *Embedded) MemoryBytes() int {
 	return e.P.ByteSize() + e.Cls.TableBytes()
+}
+
+// HostBytes reports the server-side data footprint: the node tables plus
+// the sparse projection form the host hot path actually runs. This is the
+// per-model figure capacity planning for a many-streams Engine should use.
+func (e *Embedded) HostBytes() int {
+	n := e.MemoryBytes()
+	if e.S != nil {
+		n += e.S.ByteSize()
+	}
+	return n
 }

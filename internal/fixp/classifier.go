@@ -172,14 +172,21 @@ func Defuzzify(f [NumClasses]uint32, alpha AlphaQ15) nfc.Decision {
 }
 
 // Classify runs the complete integer pipeline on projected coefficients.
+// It allocates a grade buffer per call; hot paths should preallocate one of
+// GradeBufLen() and use ClassifyInto.
 func (c *Classifier) Classify(u []int32, alpha AlphaQ15) nfc.Decision {
-	grades := make([]uint16, c.K*NumClasses)
+	grades := make([]uint16, c.GradeBufLen())
 	c.Grades(u, grades)
 	return Defuzzify(Fuzzify(c.K, grades), alpha)
 }
 
+// GradeBufLen returns the length of the grade scratch buffer ClassifyInto
+// and FuzzyValues require (K*NumClasses), so callers can preallocate without
+// duplicating the layout rule.
+func (c *Classifier) GradeBufLen() int { return c.K * NumClasses }
+
 // ClassifyInto is Classify with a caller-provided grade buffer (length
-// K*NumClasses), for the allocation-free hot path.
+// GradeBufLen()), for the allocation-free hot path.
 func (c *Classifier) ClassifyInto(u []int32, alpha AlphaQ15, grades []uint16) nfc.Decision {
 	c.Grades(u, grades)
 	return Defuzzify(Fuzzify(c.K, grades), alpha)

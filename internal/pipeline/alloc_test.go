@@ -1,0 +1,77 @@
+package pipeline
+
+import (
+	"testing"
+
+	"rpbeat/internal/ecgsyn"
+)
+
+// TestPipelinePushZeroAlloc holds the steady-state Push path to zero
+// allocations: after the warm-up region (ring buffers at capacity, detector
+// FIFOs grown to their working size), consuming samples — including ones
+// that finalize beats — must not allocate. This is the invariant that lets
+// one Engine run thousands of concurrent streams without GC pressure.
+func TestPipelinePushZeroAlloc(t *testing.T) {
+	emb := testModel(t)
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "za", Seconds: 60, Seed: 7, PVCRate: 0.1})
+	lead := rec.Leads[0]
+
+	pipe, err := New(emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	// Warm up: one full pass brings every internal buffer to steady state.
+	for _, v := range lead {
+		beats += len(pipe.Push(v))
+	}
+	if beats == 0 {
+		t.Fatal("warm-up emitted no beats; steady-state measurement would be vacuous")
+	}
+
+	next := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 3600; i++ { // 10 seconds of stream per run
+			pipe.Push(lead[next])
+			next++
+			if next == len(lead) {
+				next = 0
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push allocated %.1f times per 3600 samples, want 0", allocs)
+	}
+}
+
+// TestBatchClassifyIntoMatchesBatchClassify checks the scratch-reusing batch
+// path against the allocating reference, across repeated reuse of one
+// scratch (including a shorter record after a longer one, so stale buffer
+// tails would surface).
+func TestBatchClassifyIntoMatchesBatchClassify(t *testing.T) {
+	emb := testModel(t)
+	var scratch BatchScratch
+	for _, spec := range []ecgsyn.RecordSpec{
+		{Name: "b1", Seconds: 60, Seed: 3, PVCRate: 0.2},
+		{Name: "b2", Seconds: 30, Seed: 9, PVCRate: 0.05},
+		{Name: "b3", Seconds: 45, Seed: 12},
+	} {
+		lead := ecgsyn.Synthesize(spec).Leads[0]
+		want, err := BatchClassify(emb, lead, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BatchClassifyInto(emb, lead, Config{}, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d beats via scratch, %d via reference", spec.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: beat %d = %+v, want %+v", spec.Name, i, got[i], want[i])
+			}
+		}
+	}
+}

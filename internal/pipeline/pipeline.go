@@ -28,7 +28,6 @@ import (
 
 	"rpbeat/internal/core"
 	"rpbeat/internal/ecgsyn"
-	"rpbeat/internal/fixp"
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/peak"
 	"rpbeat/internal/sigdsp"
@@ -137,7 +136,7 @@ func New(emb *core.Embedded, cfg Config) (*Pipeline, error) {
 		window: make([]int32, c.Before+c.After),
 		ds:     make([]int32, emb.D),
 		u:      make([]int32, emb.K),
-		grades: make([]uint16, emb.K*fixp.NumClasses),
+		grades: make([]uint16, emb.Cls.GradeBufLen()),
 	}
 	// The ring must still hold sample max(0, peak-Before) when a peak
 	// finalizes, at worst Delay() samples after the peak position.
@@ -168,10 +167,11 @@ func (p *Pipeline) Delay() int {
 }
 
 // MemoryBytes reports the pipeline's fixed working set: the raw ring, the
-// classifier tables and the scratch buffers. It does not grow with stream
-// length (asserted by TestPipelineBoundedMemory).
+// classifier tables (including the sparse projection kernel the host hot
+// path runs) and the scratch buffers. It does not grow with stream length
+// (asserted by TestPipelineBoundedMemory).
 func (p *Pipeline) MemoryBytes() int {
-	return 4*len(p.raw) + p.emb.MemoryBytes() +
+	return 4*len(p.raw) + p.emb.HostBytes() +
 		4*(len(p.window)+len(p.ds)+len(p.u)) + 2*len(p.grades)
 }
 
@@ -224,16 +224,8 @@ func (p *Pipeline) classify(pk int) {
 		}
 		p.window[i] = p.raw[j%len(p.raw)]
 	}
-	f := p.emb.Downsample
-	if f <= 1 {
-		copy(p.ds, p.window)
-	} else {
-		for i, k := 0, 0; k < len(p.window); i, k = i+1, k+f {
-			p.ds[i] = p.window[k]
-		}
-	}
-	p.emb.P.ProjectIntInto(p.ds, p.u)
-	d := p.emb.Cls.ClassifyInto(p.u, p.emb.AlphaTest, p.grades)
+	sigdsp.DownsampleIntInto(p.ds, p.window, p.emb.Downsample)
+	d := p.emb.ClassifyInto(p.ds, p.u, p.grades)
 	p.out = append(p.out, BeatResult{Peak: pk, Decision: d, DetectedAt: p.n - 1})
 }
 
@@ -243,9 +235,45 @@ func (p *Pipeline) classify(pk int) {
 // configuration a Pipeline streams. The streaming results are bit-identical
 // to it away from the record tail; it also serves the /v1/classify endpoint,
 // where the whole record is available up front.
+//
+// Each call allocates its own working buffers. Request loops should hold a
+// BatchScratch (e.g. in a sync.Pool, as internal/serve does) and call
+// BatchClassifyInto instead.
 func BatchClassify(emb *core.Embedded, lead []int32, cfg Config) ([]BeatResult, error) {
+	beats, err := BatchClassifyInto(emb, lead, cfg, new(BatchScratch))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BeatResult, len(beats))
+	copy(out, beats)
+	return out, nil
+}
+
+// BatchScratch holds the reusable working buffers of one batch
+// classification: the millivolt conversion of the record, the per-beat
+// window/downsample/projection/grade scratch and the result slice. A zero
+// value is ready to use; buffers grow to the largest record seen and are
+// reused afterwards. Not safe for concurrent use.
+type BatchScratch struct {
+	mv     []float64
+	window []int32
+	ds     []int32
+	u      []int32
+	grades []uint16
+	beats  []BeatResult
+}
+
+// BatchClassifyInto is BatchClassify running through the caller's scratch
+// buffers: all O(beats) allocations of the batch path are eliminated (the
+// front-end filter and detector still allocate internally, once per record).
+// The returned slice aliases s and is valid until the next call with the
+// same scratch; copy it to retain.
+func BatchClassifyInto(emb *core.Embedded, lead []int32, cfg Config, s *BatchScratch) ([]BeatResult, error) {
 	if emb == nil {
 		return nil, errors.New("pipeline: nil classifier")
+	}
+	if s == nil {
+		return nil, errors.New("pipeline: nil scratch")
 	}
 	if err := emb.Validate(); err != nil {
 		return nil, err
@@ -255,17 +283,42 @@ func BatchClassify(emb *core.Embedded, lead []int32, cfg Config) ([]BeatResult, 
 		return nil, fmt.Errorf("pipeline: window %d+%d at downsample %d gives dimension %d, model wants %d",
 			c.Before, c.After, emb.Downsample, want, emb.D)
 	}
-	mv := make([]float64, len(lead))
+	s.mv = growFloat(s.mv, len(lead))
+	mv := s.mv[:len(lead)]
 	for i, v := range lead {
 		mv[i] = float64(v-c.ADCZero) / c.Gain
 	}
 	filtered := sigdsp.FilterECG(mv, c.Baseline)
 	peaks := peak.Detect(filtered, c.Peak)
-	out := make([]BeatResult, 0, len(peaks))
-	for _, pk := range peaks {
-		w := sigdsp.WindowInt(lead, pk, c.Before, c.After)
-		w = sigdsp.DownsampleInt(w, emb.Downsample)
-		out = append(out, BeatResult{Peak: pk, Decision: emb.Classify(w), DetectedAt: len(lead) - 1})
+
+	s.window = growInt32(s.window, c.Before+c.After)[:c.Before+c.After]
+	s.ds = growInt32(s.ds, emb.D)[:emb.D]
+	s.u = growInt32(s.u, emb.K)[:emb.K]
+	if n := emb.Cls.GradeBufLen(); cap(s.grades) < n {
+		s.grades = make([]uint16, n)
+	} else {
+		s.grades = s.grades[:n]
 	}
-	return out, nil
+	s.beats = s.beats[:0]
+	for _, pk := range peaks {
+		sigdsp.WindowIntInto(s.window, lead, pk, c.Before)
+		sigdsp.DownsampleIntInto(s.ds, s.window, emb.Downsample)
+		d := emb.ClassifyInto(s.ds, s.u, s.grades)
+		s.beats = append(s.beats, BeatResult{Peak: pk, Decision: d, DetectedAt: len(lead) - 1})
+	}
+	return s.beats, nil
+}
+
+func growFloat(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
 }

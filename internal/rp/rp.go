@@ -13,9 +13,17 @@
 // yields u = P·v: each output coefficient is a signed sum of a subset of the
 // input samples, computable with additions only.
 //
-// For the embedded target the matrix is stored 2 bits per element
-// (PackedMatrix), one quarter of an int8 matrix, as described in Sec. III-B
-// of the paper.
+// The matrix exists in three interchangeable representations, trading
+// memory for projection speed (see DESIGN.md, "kernel memory layouts"):
+//
+//   - Matrix: dense int8, the training/mutation form;
+//   - PackedMatrix: 2 bits per element, one quarter of an int8 matrix, the
+//     encoding deployed on the WBSN (Sec. III-B of the paper);
+//   - SparseMatrix: per-row non-zero column indices, the host-side hot-path
+//     form — its projection touches only the ~1/3 non-zero entries.
+//
+// All three produce bit-identical integer projections (property-tested in
+// sparse_test.go).
 package rp
 
 import (
@@ -228,22 +236,55 @@ func (p *PackedMatrix) ProjectInt(v []int32) []int32 {
 	return u
 }
 
+// packedDecode maps one packed byte to the four signs it encodes, in column
+// order (lowest 2 bits first). The invalid code 11 decodes to 0, matching At.
+// 256 entries × 4 int8 = 1 KB, shared by every projection.
+var packedDecode = func() (t [256][4]int8) {
+	sign := [4]int8{0b00: 0, 0b01: 1, 0b10: -1, 0b11: 0}
+	for b := 0; b < 256; b++ {
+		for j := 0; j < 4; j++ {
+			t[b][j] = sign[(b>>(2*j))&0b11]
+		}
+	}
+	return t
+}()
+
 // ProjectIntInto is ProjectInt into a caller-provided slice.
+//
+// The kernel decodes four columns per byte through the packedDecode lookup
+// table and accumulates with branch-free sign multiplies, instead of
+// extracting and switching on every 2-bit code. The node itself would still
+// execute the addition-only loop the paper costs out; this host kernel is
+// arithmetically identical (ternary signs make multiply and conditional
+// add/subtract the same function), just restructured for pipelined CPUs.
 func (p *PackedMatrix) ProjectIntInto(v []int32, u []int32) {
 	if len(v) != p.D || len(u) != p.K {
 		panic("rp: ProjectIntInto dimension mismatch")
 	}
 	for r := 0; r < p.K; r++ {
 		var s int32
-		base := r * p.D
-		for c := 0; c < p.D; c++ {
-			i := base + c
-			code := (p.Bits[i/4] >> uint((i%4)*2)) & 0b11
-			switch code {
-			case 0b01:
-				s += v[c]
-			case 0b10:
-				s -= v[c]
+		i := r * p.D // element index into the packed stream
+		end := i + p.D
+		c := 0 // column index into v
+		// Rows need not start on a byte boundary when D is not a multiple
+		// of 4: peel the leading partial byte.
+		if off := i & 3; off != 0 {
+			dec := &packedDecode[p.Bits[i>>2]]
+			for ; off < 4 && i < end; off, i, c = off+1, i+1, c+1 {
+				s += int32(dec[off]) * v[c]
+			}
+		}
+		// Full bytes: four columns per table lookup.
+		for ; i+4 <= end; i, c = i+4, c+4 {
+			dec := &packedDecode[p.Bits[i>>2]]
+			s += int32(dec[0])*v[c] + int32(dec[1])*v[c+1] +
+				int32(dec[2])*v[c+2] + int32(dec[3])*v[c+3]
+		}
+		// Trailing partial byte.
+		if i < end {
+			dec := &packedDecode[p.Bits[i>>2]]
+			for off := 0; i < end; off, i, c = off+1, i+1, c+1 {
+				s += int32(dec[off]) * v[c]
 			}
 		}
 		u[r] = s

@@ -1,0 +1,215 @@
+package rp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SparseMatrix is the third representation of a ternary projection matrix,
+// optimized for the host-side hot path: per row, only the column indices of
+// the non-zero entries are stored, split by sign. ProjectIntInto then costs
+// exactly NonZeros() additions/subtractions with no per-element branch —
+// the ~d/3 operations per coefficient the paper's energy argument assumes
+// (an Achlioptas matrix is zero with probability 2/3), instead of the d
+// element decodes the dense and packed kernels pay.
+//
+// Layout is CSR-like: all rows' indices are concatenated in Pos and Neg,
+// with PosStart/NegStart (length K+1) marking row boundaries, so the whole
+// structure is four flat slices regardless of K.
+//
+// SparseMatrix trades memory for speed — see ByteSize and the "kernel memory
+// layouts" section of DESIGN.md. It is built from a Matrix or PackedMatrix
+// at load time and is immutable afterwards, so it may be shared freely
+// across goroutines.
+type SparseMatrix struct {
+	K, D int
+	// Pos holds the column indices of +1 entries, all rows concatenated;
+	// row r's indices are Pos[PosStart[r]:PosStart[r+1]].
+	Pos []int32
+	// Neg holds the column indices of -1 entries, same layout.
+	Neg []int32
+	// PosStart and NegStart are the K+1 row offsets into Pos and Neg.
+	PosStart, NegStart []int32
+}
+
+// NewSparse builds the sparse representation of a dense ternary matrix.
+func NewSparse(m *Matrix) *SparseMatrix {
+	s := &SparseMatrix{
+		K:        m.K,
+		D:        m.D,
+		PosStart: make([]int32, m.K+1),
+		NegStart: make([]int32, m.K+1),
+	}
+	npos, nneg := 0, 0
+	for _, v := range m.El {
+		switch v {
+		case 1:
+			npos++
+		case -1:
+			nneg++
+		}
+	}
+	s.Pos = make([]int32, 0, npos)
+	s.Neg = make([]int32, 0, nneg)
+	for r := 0; r < m.K; r++ {
+		row := m.El[r*m.D : (r+1)*m.D]
+		for c, e := range row {
+			switch e {
+			case 1:
+				s.Pos = append(s.Pos, int32(c))
+			case -1:
+				s.Neg = append(s.Neg, int32(c))
+			}
+		}
+		s.PosStart[r+1] = int32(len(s.Pos))
+		s.NegStart[r+1] = int32(len(s.Neg))
+	}
+	return s
+}
+
+// Sparse builds the sparse representation directly from the packed 2-bit
+// form, without materializing the dense matrix. It fails on the invalid
+// code 11, like Unpack.
+func (p *PackedMatrix) Sparse() (*SparseMatrix, error) {
+	s := &SparseMatrix{
+		K:        p.K,
+		D:        p.D,
+		PosStart: make([]int32, p.K+1),
+		NegStart: make([]int32, p.K+1),
+	}
+	for r := 0; r < p.K; r++ {
+		base := r * p.D
+		for c := 0; c < p.D; c++ {
+			i := base + c
+			switch (p.Bits[i/4] >> uint((i%4)*2)) & 0b11 {
+			case 0b01:
+				s.Pos = append(s.Pos, int32(c))
+			case 0b10:
+				s.Neg = append(s.Neg, int32(c))
+			case 0b11:
+				return nil, fmt.Errorf("rp: invalid packed code 11 at element %d", i)
+			}
+		}
+		s.PosStart[r+1] = int32(len(s.Pos))
+		s.NegStart[r+1] = int32(len(s.Neg))
+	}
+	return s, nil
+}
+
+// Dense expands the sparse matrix back to the dense form.
+func (s *SparseMatrix) Dense() *Matrix {
+	m := &Matrix{K: s.K, D: s.D, El: make([]int8, s.K*s.D)}
+	for r := 0; r < s.K; r++ {
+		for _, c := range s.Pos[s.PosStart[r]:s.PosStart[r+1]] {
+			m.El[r*s.D+int(c)] = 1
+		}
+		for _, c := range s.Neg[s.NegStart[r]:s.NegStart[r+1]] {
+			m.El[r*s.D+int(c)] = -1
+		}
+	}
+	return m
+}
+
+// Validate checks structural invariants: monotone row offsets and in-range,
+// strictly increasing column indices per row (the order NewSparse and
+// PackedMatrix.Sparse produce, and what Dense round-tripping relies on).
+func (s *SparseMatrix) Validate() error {
+	if s.K <= 0 || s.D <= 0 {
+		return errors.New("rp: non-positive dimensions")
+	}
+	if len(s.PosStart) != s.K+1 || len(s.NegStart) != s.K+1 {
+		return fmt.Errorf("rp: row offset lengths %d/%d, want %d", len(s.PosStart), len(s.NegStart), s.K+1)
+	}
+	if s.PosStart[0] != 0 || s.NegStart[0] != 0 {
+		return errors.New("rp: row offsets must start at 0")
+	}
+	if int(s.PosStart[s.K]) != len(s.Pos) || int(s.NegStart[s.K]) != len(s.Neg) {
+		return errors.New("rp: final row offsets do not cover the index slices")
+	}
+	check := func(idx []int32, start []int32, what string) error {
+		for r := 0; r < s.K; r++ {
+			if start[r] > start[r+1] {
+				return fmt.Errorf("rp: %s offsets decrease at row %d", what, r)
+			}
+			row := idx[start[r]:start[r+1]]
+			for i, c := range row {
+				if c < 0 || int(c) >= s.D {
+					return fmt.Errorf("rp: %s column %d out of range in row %d", what, c, r)
+				}
+				if i > 0 && c <= row[i-1] {
+					return fmt.Errorf("rp: %s columns not strictly increasing in row %d", what, r)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(s.Pos, s.PosStart, "pos"); err != nil {
+		return err
+	}
+	return check(s.Neg, s.NegStart, "neg")
+}
+
+// ProjectInt computes u = P·v for integer input, touching only the non-zero
+// entries.
+func (s *SparseMatrix) ProjectInt(v []int32) []int32 {
+	if len(v) != s.D {
+		panic(fmt.Sprintf("rp: input length %d != D=%d", len(v), s.D))
+	}
+	u := make([]int32, s.K)
+	s.ProjectIntInto(v, u)
+	return u
+}
+
+// ProjectIntInto is ProjectInt writing into a caller-provided slice of
+// length K. This is the fastest integer projection kernel in the package:
+// one gather-add per non-zero, no branches, no allocation.
+func (s *SparseMatrix) ProjectIntInto(v []int32, u []int32) {
+	if len(v) != s.D || len(u) != s.K {
+		panic("rp: ProjectIntInto dimension mismatch")
+	}
+	for r := 0; r < s.K; r++ {
+		var acc int32
+		for _, c := range s.Pos[s.PosStart[r]:s.PosStart[r+1]] {
+			acc += v[c]
+		}
+		for _, c := range s.Neg[s.NegStart[r]:s.NegStart[r+1]] {
+			acc -= v[c]
+		}
+		u[r] = acc
+	}
+}
+
+// Project computes u = P·v for float input. Unlike the integer kernels it
+// is not bit-identical to Matrix.Project: summing positives then negatives
+// reorders the floating-point additions (differences are at rounding level;
+// the integer projections, where ternary matrices actually ship, are exact).
+func (s *SparseMatrix) Project(v []float64) []float64 {
+	if len(v) != s.D {
+		panic(fmt.Sprintf("rp: input length %d != D=%d", len(v), s.D))
+	}
+	u := make([]float64, s.K)
+	for r := 0; r < s.K; r++ {
+		var acc float64
+		for _, c := range s.Pos[s.PosStart[r]:s.PosStart[r+1]] {
+			acc += v[c]
+		}
+		for _, c := range s.Neg[s.NegStart[r]:s.NegStart[r+1]] {
+			acc -= v[c]
+		}
+		u[r] = acc
+	}
+	return u
+}
+
+// NonZeros returns the number of stored entries — the projection's exact
+// addition count.
+func (s *SparseMatrix) NonZeros() int { return len(s.Pos) + len(s.Neg) }
+
+// ByteSize returns the storage footprint of the sparse representation:
+// 4 bytes per non-zero index plus the two row-offset arrays. For an
+// Achlioptas matrix (1/3 non-zero on average) this is ~4/3 bytes per
+// element — larger than dense int8 (1 B/el) and packed (1/4 B/el); the
+// sparse form buys speed, not memory (see DESIGN.md).
+func (s *SparseMatrix) ByteSize() int {
+	return 4 * (len(s.Pos) + len(s.Neg) + len(s.PosStart) + len(s.NegStart))
+}

@@ -1,0 +1,196 @@
+package rp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rpbeat/internal/rng"
+)
+
+// referenceProjectInt is the obviously-correct element-walking projection the
+// optimized kernels are checked against.
+func referenceProjectInt(m *Matrix, v []int32) []int32 {
+	u := make([]int32, m.K)
+	for r := 0; r < m.K; r++ {
+		var s int32
+		for c := 0; c < m.D; c++ {
+			switch m.At(r, c) {
+			case 1:
+				s += v[c]
+			case -1:
+				s -= v[c]
+			}
+		}
+		u[r] = s
+	}
+	return u
+}
+
+// TestProjectionEquivalenceQuick is the cross-representation property test:
+// for random shapes (including D not divisible by 4, so packed rows start
+// mid-byte) and random signed inputs, dense, packed and sparse projections —
+// built along both conversion paths — must agree exactly with the reference.
+func TestProjectionEquivalenceQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(12)
+		d := 1 + r.Intn(130)
+		m := NewRandom(r, k, d)
+		v := make([]int32, d)
+		for i := range v {
+			v[i] = int32(r.Intn(4096)) - 2048
+		}
+		want := referenceProjectInt(m, v)
+
+		p := Pack(m)
+		sd := NewSparse(m)
+		sp, err := p.Sparse()
+		if err != nil {
+			t.Logf("seed %d: Sparse from packed: %v", seed, err)
+			return false
+		}
+		if err := sd.Validate(); err != nil {
+			t.Logf("seed %d: sparse validate: %v", seed, err)
+			return false
+		}
+		for name, got := range map[string][]int32{
+			"dense":         m.ProjectInt(v),
+			"packed":        p.ProjectInt(v),
+			"sparse-dense":  sd.ProjectInt(v),
+			"sparse-packed": sp.ProjectInt(v),
+		} {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Logf("seed %d (%dx%d): %s coefficient %d = %d, want %d",
+						seed, k, d, name, i, got[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseAllZeroMatrix(t *testing.T) {
+	m := &Matrix{K: 4, D: 10, El: make([]int8, 40)}
+	s := NewSparse(m)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NonZeros() != 0 {
+		t.Fatalf("all-zero matrix has %d stored entries", s.NonZeros())
+	}
+	v := make([]int32, 10)
+	for i := range v {
+		v[i] = int32(i + 1)
+	}
+	for i, x := range s.ProjectInt(v) {
+		if x != 0 {
+			t.Fatalf("coefficient %d = %d, want 0", i, x)
+		}
+	}
+	// The packed path agrees.
+	sp, err := Pack(m).Sparse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NonZeros() != 0 {
+		t.Fatalf("packed-derived sparse has %d entries", sp.NonZeros())
+	}
+}
+
+func TestSparseEmptyRow(t *testing.T) {
+	// Row 1 is all zeros; rows 0 and 2 are not.
+	m := &Matrix{K: 3, D: 5, El: make([]int8, 15)}
+	m.Set(0, 1, 1)
+	m.Set(0, 4, -1)
+	m.Set(2, 0, -1)
+	m.Set(2, 3, 1)
+	s := NewSparse(m)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := []int32{10, 20, 30, 40, 50}
+	got := s.ProjectInt(v)
+	want := referenceProjectInt(m, v)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coefficient %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if got[1] != 0 {
+		t.Fatalf("empty row projected to %d, want 0", got[1])
+	}
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := NewRandom(r, 1+r.Intn(6), 1+r.Intn(60))
+		back := NewSparse(m).Dense()
+		for i := range m.El {
+			if back.El[i] != m.El[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseFromPackedRejectsInvalidCode(t *testing.T) {
+	p := &PackedMatrix{K: 1, D: 1, Bits: []byte{0b11}}
+	if _, err := p.Sparse(); err == nil {
+		t.Fatal("code 11 should be rejected")
+	}
+}
+
+func TestSparseNonZerosAndByteSize(t *testing.T) {
+	m := NewRandom(rng.New(21), 8, 200)
+	s := NewSparse(m)
+	if s.NonZeros() != m.NonZeros() {
+		t.Fatalf("sparse NonZeros %d, dense %d", s.NonZeros(), m.NonZeros())
+	}
+	want := 4 * (s.NonZeros() + 2*(s.K+1))
+	if s.ByteSize() != want {
+		t.Fatalf("ByteSize %d, want %d", s.ByteSize(), want)
+	}
+}
+
+func TestSparseProjectFloatMatchesDense(t *testing.T) {
+	r := rng.New(22)
+	m := NewRandom(r, 6, 80)
+	s := NewSparse(m)
+	v := make([]float64, 80)
+	for i := range v {
+		v[i] = r.Norm()
+	}
+	uf := m.Project(v)
+	us := s.Project(v)
+	for i := range uf {
+		// Summation order differs (positives first), so allow rounding noise.
+		if diff := math.Abs(uf[i] - us[i]); diff > 1e-9 {
+			t.Fatalf("coefficient %d: dense %v, sparse %v (diff %g)", i, uf[i], us[i], diff)
+		}
+	}
+}
+
+func BenchmarkProjectIntSparse_8x50(b *testing.B) {
+	r := rng.New(1)
+	s := NewSparse(NewRandom(r, 8, 50))
+	v := make([]int32, 50)
+	for i := range v {
+		v[i] = int32(r.Intn(2048))
+	}
+	u := make([]int32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ProjectIntInto(v, u)
+	}
+}

@@ -33,10 +33,26 @@ const maxStreamLineBytes = 8 << 20
 type server struct {
 	eng          *pipeline.Engine
 	defaultModel string
+	// scratch pools the per-request working buffers of /v1/classify: the
+	// millivolt conversion, per-beat classification scratch and response
+	// beat slices are reused across requests instead of allocated per call,
+	// so a steady request rate holds a steady working set.
+	scratch sync.Pool
 }
 
+// classifyScratch is one request's reusable buffer set.
+type classifyScratch struct {
+	batch pipeline.BatchScratch
+	beats []Beat
+}
+
+// NewHandler builds the HTTP handler serving the engine's models:
+// POST /v1/classify and /v1/stream, GET /v1/models and /healthz.
+// defaultModel names the registry entry used when a request does not pick
+// one.
 func NewHandler(eng *pipeline.Engine, defaultModel string) http.Handler {
 	s := &server{eng: eng, defaultModel: defaultModel}
+	s.scratch.New = func() any { return new(classifyScratch) }
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("GET /v1/models", s.models)
@@ -49,6 +65,7 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
+// ModelInfo is one entry of the GET /v1/models inventory.
 type ModelInfo struct {
 	Name        string `json:"name"`
 	Coeffs      int    `json:"k"`
@@ -74,16 +91,23 @@ func (s *server) models(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// ClassifyRequest is the POST /v1/classify body: one lead of raw ADC
+// samples, classified as a whole record against the named model (the
+// registry default when Model is empty).
 type ClassifyRequest struct {
 	Model   string  `json:"model,omitempty"`
 	Samples []int32 `json:"samples"`
 }
 
+// Beat is one classified beat of a /v1/classify response: the R-peak sample
+// index and the decided class (N, L, V or U).
 type Beat struct {
 	Sample int    `json:"sample"`
 	Class  string `json:"class"`
 }
 
+// ClassifyResponse is the POST /v1/classify reply: every detected beat with
+// its class, plus per-class counts.
 type ClassifyResponse struct {
 	Model  string         `json:"model"`
 	Total  int            `json:"total"`
@@ -111,28 +135,42 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	beats, err := pipeline.BatchClassify(emb, req.Samples, pipeline.Config{})
+	sc := s.scratch.Get().(*classifyScratch)
+	defer s.scratch.Put(sc)
+	beats, err := pipeline.BatchClassifyInto(emb, req.Samples, pipeline.Config{}, &sc.batch)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	resp := ClassifyResponse{Model: name, Total: len(beats), Counts: countDecisions(beats), Beats: make([]Beat, len(beats))}
-	for i, b := range beats {
-		resp.Beats[i] = Beat{Sample: b.Peak, Class: b.Decision.String()}
+	if sc.beats == nil {
+		sc.beats = []Beat{} // encode as [], never null
 	}
+	sc.beats = sc.beats[:0]
+	for _, b := range beats {
+		sc.beats = append(sc.beats, Beat{Sample: b.Peak, Class: b.Decision.String()})
+	}
+	// The response is encoded before the deferred Put, so the pooled beat
+	// slice is never aliased by a live request.
+	resp := ClassifyResponse{Model: name, Total: len(beats), Counts: countDecisions(beats), Beats: sc.beats}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// StreamChunk is one NDJSON request line of POST /v1/stream: the next batch
+// of raw ADC samples of the patient stream.
 type StreamChunk struct {
 	Samples []int32 `json:"samples"`
 }
 
+// StreamBeat is one NDJSON response line of POST /v1/stream: a beat the
+// online pipeline finalized, flushed as soon as it is known.
 type StreamBeat struct {
 	Sample     int    `json:"sample"`
 	Class      string `json:"class"`
 	DetectedAt int    `json:"detectedAt"`
 }
 
+// StreamDone is the final NDJSON response line of POST /v1/stream,
+// summarizing the whole stream after the pipeline drained.
 type StreamDone struct {
 	Done    bool `json:"done"`
 	Beats   int  `json:"beats"`

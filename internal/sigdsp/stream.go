@@ -11,12 +11,17 @@ package sigdsp
 
 // StreamExtremum is a running windowed min or max over the last `length`
 // samples (Lemire's monotonic-wedge algorithm): O(1) amortized per sample
-// with at most `length` stored indices.
+// with at most `length` stored indices. The wedge lives in a fixed-capacity
+// ring deque, so steady-state Push never allocates — the property the whole
+// pipeline's zero-allocation hot path rests on (a plain slice deque would
+// shed front capacity at every pop and reallocate on append).
 type StreamExtremum struct {
 	length  int
 	wantMax bool
 	buf     []float64 // ring buffer of the last `length` samples
-	idx     []int     // monotonic deque of absolute indices
+	idx     []int     // ring deque of absolute indices, capacity length+1
+	head    int       // deque front position in idx
+	count   int       // deque occupancy
 	n       int       // samples consumed
 }
 
@@ -34,28 +39,35 @@ func newStreamExtremum(length int, wantMax bool) *StreamExtremum {
 		length:  length,
 		wantMax: wantMax,
 		buf:     make([]float64, length),
+		idx:     make([]int, length+1),
 	}
 }
 
 // Push consumes one sample and returns the extremum of the trailing window
 // (shorter during warm-up).
 func (s *StreamExtremum) Push(x float64) float64 {
-	better := func(a, b float64) bool {
-		if s.wantMax {
-			return a >= b
-		}
-		return a <= b
-	}
 	s.buf[s.n%s.length] = x
-	for len(s.idx) > 0 && better(x, s.buf[s.idx[len(s.idx)-1]%s.length]) {
-		s.idx = s.idx[:len(s.idx)-1]
+	// Pop dominated indices off the back of the wedge.
+	for s.count > 0 {
+		back := s.buf[s.idx[(s.head+s.count-1)%len(s.idx)]%s.length]
+		if s.wantMax {
+			if x < back {
+				break
+			}
+		} else if x > back {
+			break
+		}
+		s.count--
 	}
-	s.idx = append(s.idx, s.n)
-	if s.idx[0] <= s.n-s.length {
-		s.idx = s.idx[1:]
+	s.idx[(s.head+s.count)%len(s.idx)] = s.n
+	s.count++
+	// Expire the front once it leaves the window.
+	if s.idx[s.head] <= s.n-s.length {
+		s.head = (s.head + 1) % len(s.idx)
+		s.count--
 	}
 	s.n++
-	return s.buf[s.idx[0]%s.length]
+	return s.buf[s.idx[s.head]%s.length]
 }
 
 // Delay returns the number of samples by which the trailing-window output

@@ -160,12 +160,16 @@ func TestStreamFilterDelayReported(t *testing.T) {
 
 func TestStreamExtremumBoundedMemory(t *testing.T) {
 	s := NewStreamMax(16)
+	ring := &s.idx[0]
 	r := rng.New(9)
 	for i := 0; i < 10000; i++ {
 		s.Push(r.Norm())
-		if len(s.idx) > 16 {
-			t.Fatalf("deque grew to %d entries for a 16-sample window", len(s.idx))
+		if s.count > 16 {
+			t.Fatalf("deque holds %d entries for a 16-sample window", s.count)
 		}
+	}
+	if &s.idx[0] != ring {
+		t.Fatal("deque ring was reallocated; Push must not allocate")
 	}
 }
 

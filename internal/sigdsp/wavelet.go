@@ -119,11 +119,28 @@ func DownsampleInt(x []int32, factor int) []int32 {
 		copy(out, x)
 		return out
 	}
-	out := make([]int32, 0, (len(x)+factor-1)/factor)
-	for i := 0; i < len(x); i += factor {
-		out = append(out, x[i])
-	}
+	out := make([]int32, (len(x)+factor-1)/factor)
+	DownsampleIntInto(out, x, factor)
 	return out
+}
+
+// DownsampleIntInto is DownsampleInt into a caller-provided slice of length
+// ceil(len(x)/factor) (len(x) for factor <= 1), for the allocation-free
+// per-beat path.
+func DownsampleIntInto(dst []int32, x []int32, factor int) {
+	if factor <= 1 {
+		if len(dst) != len(x) {
+			panic("sigdsp: DownsampleIntInto length mismatch")
+		}
+		copy(dst, x)
+		return
+	}
+	if len(dst) != (len(x)+factor-1)/factor {
+		panic("sigdsp: DownsampleIntInto length mismatch")
+	}
+	for i, k := 0, 0; k < len(x); i, k = i+1, k+factor {
+		dst[i] = x[k]
+	}
 }
 
 // Window extracts the samples [center-before, center+after) from x,
@@ -152,8 +169,15 @@ func Window(x []float64, center, before, after int) []float64 {
 // WindowInt is Window for integer signals.
 func WindowInt(x []int32, center, before, after int) []int32 {
 	out := make([]int32, before+after)
+	WindowIntInto(out, x, center, before)
+	return out
+}
+
+// WindowIntInto is WindowInt into a caller-provided slice whose length sets
+// the window size (before + after), for the allocation-free per-beat path.
+func WindowIntInto(dst []int32, x []int32, center, before int) {
 	n := len(x)
-	for i := range out {
+	for i := range dst {
 		j := center - before + i
 		if j < 0 {
 			j = 0
@@ -162,12 +186,11 @@ func WindowInt(x []int32, center, before, after int) []int32 {
 			j = n - 1
 		}
 		if n == 0 {
-			out[i] = 0
+			dst[i] = 0
 			continue
 		}
-		out[i] = x[j]
+		dst[i] = x[j]
 	}
-	return out
 }
 
 // Mean returns the arithmetic mean of x (0 for empty input).
