@@ -7,6 +7,7 @@ package rpbeat
 // terminates in minutes; `cmd/rpbench` runs the same drivers at full scale.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -250,7 +251,7 @@ func BenchmarkKernel_BatchClassify30s(b *testing.B) {
 	var scratch pipeline.BatchScratch
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pipeline.BatchClassifyInto(emb, lead, pipeline.Config{}, &scratch); err != nil {
+		if _, err := pipeline.BatchClassifyInto(context.Background(), emb, lead, pipeline.Config{}, &scratch); err != nil {
 			b.Fatal(err)
 		}
 	}

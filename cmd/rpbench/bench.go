@@ -8,6 +8,7 @@ package main
 // BENCHMARKS.md for the schema and how each entry maps to the paper).
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -231,7 +232,7 @@ func runJSONBench(dir string) (string, error) {
 				half := lead[:len(lead)/2] // 30 s of the 60 s record
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := pipeline.BatchClassifyInto(emb, half, pipeline.Config{}, &scratch); err != nil {
+					if _, err := pipeline.BatchClassifyInto(context.Background(), emb, half, pipeline.Config{}, &scratch); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -1,36 +1,54 @@
 // Command rpserve serves the embedded heartbeat classifier over HTTP: batch
 // classification of whole records and online NDJSON streaming, backed by a
-// shared model registry and a worker-pool engine that multiplexes any number
-// of concurrent patient streams (internal/pipeline).
+// versioned model catalog (internal/catalog) and a worker-pool engine that
+// multiplexes any number of concurrent patient streams (internal/pipeline).
 //
 // Usage:
 //
-//	rpserve -model default=model.json -addr :8080
+//	rpserve -models-dir ./models -addr :8080   # persistent, admin-managed
 //	rpserve -model pc=float.json -model wbsn=embedded.bin -default wbsn
 //	rpserve -demo          # no trained model at hand: train a small one
 //
+// With -models-dir the catalog is durable: models already in the directory
+// (e.g. cmd/rptrain output, with their manifest sidecars) are loaded at
+// boot, every POST /v1/models upload is persisted, and SIGHUP hot-reloads
+// the directory without a restart. -model name=path imports a file into the
+// catalog at boot (re-imports of identical bytes are recognized and
+// skipped).
+//
 // Endpoints:
 //
-//	GET  /healthz             liveness
-//	GET  /v1/models           registered models and their footprints
-//	POST /v1/classify         {"model":"...","samples":[...]} -> beats JSON
-//	POST /v1/stream?model=m   NDJSON chunks in, NDJSON beats out (chunked)
+//	GET    /healthz             liveness
+//	GET    /v1/models           catalog inventory (versions, manifests)
+//	POST   /v1/models?name=n    upload a model; next version auto-assigned
+//	GET    /v1/models/{ref}     manifest detail ("name" or "name@vN")
+//	DELETE /v1/models/{ref}     retire one explicit version
+//	PUT    /v1/default          {"model":"ref"} repoint the default
+//	POST   /v1/classify         {"model":"...","samples":[...]} -> beats
+//	POST   /v1/stream?model=m   NDJSON chunks in, NDJSON beats out (chunked)
+//
+// Shutdown is graceful: SIGINT/SIGTERM stop the listener, in-flight
+// requests (including open streams) get -drain to finish, then the engine
+// worker pool is closed.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"rpbeat/internal/apierr"
 	"rpbeat/internal/beatset"
+	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
-	"rpbeat/internal/fixp"
 	"rpbeat/internal/pipeline"
 	"rpbeat/internal/serve"
 )
@@ -40,20 +58,13 @@ func loadModel(path string) (*core.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if bytes.HasPrefix(data, []byte("RPBT")) {
-		return core.ReadBinary(bytes.NewReader(data))
-	}
-	var m core.Model
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, err
-	}
-	return &m, nil
+	return core.Decode(data)
 }
 
 // trainDemo trains a reduced-scale model so the server can start without any
 // artifacts on disk (a few seconds of CPU; for real use, train with
-// cmd/rptrain and pass -model).
-func trainDemo(seed uint64) (*core.Embedded, error) {
+// cmd/rptrain and pass -model or drop it in -models-dir).
+func trainDemo(seed uint64) (*core.Model, error) {
 	ds, err := beatset.Build(beatset.Config{Seed: seed, Scale: 0.03})
 	if err != nil {
 		return nil, err
@@ -62,24 +73,22 @@ func trainDemo(seed uint64) (*core.Embedded, error) {
 		Coeffs: 8, Downsample: 4, PopSize: 6, Generations: 3,
 		SCGIters: 60, MinARR: 0.9, Seed: seed,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return m.Quantize(fixp.MFLinear)
+	return m, err
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "engine worker goroutines (0 = NumCPU)")
-		deflt   = flag.String("default", "", "default model name (default: first registered)")
-		demo    = flag.Bool("demo", false, "train a small demo model at startup")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = NumCPU)")
+		modelsDir = flag.String("models-dir", "", "persistent catalog directory (loaded at boot, uploads land here, SIGHUP reloads)")
+		deflt     = flag.String("default", "", "default model reference (name or name@vN)")
+		demo      = flag.Bool("demo", false, "train a small demo model at startup")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
-	// Flag order decides registration order (and the default model when
-	// -default is not given), so keep a slice, not a map.
+	// Flag order decides import order, so keep a slice, not a map.
 	type namedModel struct{ name, path string }
 	var models []namedModel
-	flag.Func("model", "register a model as name=path (repeatable; json or binary)", func(v string) error {
+	flag.Func("model", "import a model into the catalog as name=path (repeatable; json or binary)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("want name=path, got %q", v)
@@ -91,59 +100,120 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rpserve: ")
 
-	reg := pipeline.NewRegistry()
-	var names []string
+	var (
+		cat *catalog.Catalog
+		err error
+	)
+	if *modelsDir != "" {
+		if cat, err = catalog.Open(*modelsDir); err != nil {
+			log.Fatalf("models dir: %v", err)
+		}
+		if n := cat.Snapshot().Len(); n > 0 {
+			log.Printf("loaded %d model version(s) from %s", n, *modelsDir)
+		}
+	} else {
+		cat = catalog.New()
+	}
+
+	put := func(name string, m *core.Model, what string) {
+		man, err := cat.Put(name, m, nil)
+		if apierr.IsCode(err, apierr.CodeModelExists) {
+			log.Printf("model %q: %s already in catalog (%v)", name, what, err)
+			return
+		}
+		if err != nil {
+			log.Fatalf("register %s: %v", what, err)
+		}
+		e, err := cat.Snapshot().Resolve(man.Ref())
+		if err != nil {
+			log.Fatalf("resolve %s: %v", man.Ref(), err)
+		}
+		log.Printf("model %s: k=%d d=%d downsample=%d, %d bytes on-node, digest %.12s…",
+			man.Ref(), man.K, man.D, man.Downsample, e.Emb.MemoryBytes(), man.Digest)
+	}
 	for _, nm := range models {
 		m, err := loadModel(nm.path)
 		if err != nil {
 			log.Fatalf("load %s: %v", nm.path, err)
 		}
-		emb, err := m.Quantize(fixp.MFLinear)
-		if err != nil {
-			log.Fatalf("quantize %s: %v", nm.path, err)
-		}
-		if err := reg.Register(nm.name, emb); err != nil {
-			log.Fatalf("register %s: %v", nm.name, err)
-		}
-		log.Printf("model %q: k=%d d=%d downsample=%d, %d bytes on-node",
-			nm.name, emb.K, emb.D, emb.Downsample, emb.MemoryBytes())
-		names = append(names, nm.name)
+		put(nm.name, m, nm.path)
 	}
 	if *demo {
 		log.Printf("training demo model (reduced scale)...")
 		start := time.Now()
-		emb, err := trainDemo(1)
+		m, err := trainDemo(1)
 		if err != nil {
 			log.Fatalf("demo training: %v", err)
 		}
-		if err := reg.Register("demo", emb); err != nil {
-			log.Fatal(err)
+		log.Printf("demo model trained in %v", time.Since(start).Round(time.Millisecond))
+		put("demo", m, "demo model")
+	}
+	if *deflt != "" {
+		if err := cat.SetDefault(*deflt); err != nil {
+			log.Fatalf("default model: %v", err)
 		}
-		log.Printf("model %q trained in %v: k=%d d=%d, %d bytes on-node",
-			"demo", time.Since(start).Round(time.Millisecond), emb.K, emb.D, emb.MemoryBytes())
-		names = append(names, "demo")
 	}
-	if len(names) == 0 {
-		log.Fatal("no models: pass -model name=path (see cmd/rptrain) or -demo")
+	if cat.Snapshot().Len() == 0 && *modelsDir == "" {
+		log.Fatal("no models: pass -model name=path, -models-dir (uploads welcome) or -demo")
 	}
-	def := *deflt
-	if def == "" {
-		def = names[0]
-	}
-	if _, err := reg.Get(def); err != nil {
-		log.Fatalf("default model: %v", err)
+	if def := cat.Snapshot().Default(); def != "" {
+		log.Printf("default model: %s", def)
+	} else {
+		log.Printf("no default model yet: pick one with PUT /v1/default or upload the first")
 	}
 
-	eng := pipeline.NewEngine(reg, pipeline.EngineConfig{Workers: *workers})
-	defer eng.Close()
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: *workers})
 
-	log.Printf("serving on %s (default model %q)", *addr, def)
+	// SIGHUP hot-reloads a directory-backed catalog (e.g. after rsyncing new
+	// model files in) without dropping a single stream.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if cat.Dir() == "" {
+				log.Printf("SIGHUP: no -models-dir, nothing to reload")
+				continue
+			}
+			if err := cat.Reload(); err != nil {
+				log.Printf("SIGHUP reload failed (catalog unchanged): %v", err)
+			} else {
+				log.Printf("SIGHUP: reloaded %d model version(s) from %s", cat.Snapshot().Len(), cat.Dir())
+			}
+		}
+	}()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewHandler(eng, def),
+		Handler:           serve.NewHandler(eng, serve.HandlerConfig{}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		// The listener failed outright (port in use, ...): nothing to drain.
+		eng.Close()
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second ^C kills hard
+		log.Printf("shutdown signal; draining in-flight requests (up to %v)", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Printf("drain incomplete: %v; closing remaining connections", err)
+			srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("listener: %v", err)
+		}
+		// All stream handlers have returned (and Closed their streams), so
+		// the worker pool drains cleanly.
+		eng.Close()
+		log.Printf("bye")
 	}
 }

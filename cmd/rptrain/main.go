@@ -7,6 +7,12 @@
 //	rptrain -o model.json                       # paper settings, full data
 //	rptrain -o model.bin -format binary -k 8 -downsample 4
 //	rptrain -o m.json -scale 0.1 -pop 8 -gen 10 # quick run on reduced data
+//
+// Alongside the model, rptrain writes a manifest sidecar
+// (<out-minus-ext>.manifest.json) carrying the model's SHA-256 digest and
+// the training configuration — the provenance record internal/catalog
+// preserves when the file is dropped into an rpserve -models-dir (where it
+// registers as <name>@v1) or uploaded via POST /v1/models.
 package main
 
 import (
@@ -15,9 +21,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"rpbeat/internal/beatset"
+	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
 )
 
@@ -32,6 +41,7 @@ func main() {
 		minARR     = flag.Float64("minarr", 0.97, "minimum ARR constraint for alpha_train")
 		scale      = flag.Float64("scale", 1, "dataset scale (1 = full Table I composition)")
 		seed       = flag.Uint64("seed", 42, "training seed")
+		name       = flag.String("name", "", "model name for the manifest (default: output filename without extension)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -83,5 +93,27 @@ func main() {
 	default:
 		log.Fatalf("unknown format %q (json|binary)", *format)
 	}
-	fmt.Printf("model written to %s (%.1fs total)\n", *out, time.Since(start).Seconds())
+
+	// Manifest sidecar: digest + provenance, verified by the catalog on load.
+	manName := *name
+	if manName == "" {
+		base := filepath.Base(*out)
+		manName = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	if err := catalog.ValidateName(manName); err != nil {
+		log.Fatalf("manifest name: %v (pass -name)", err)
+	}
+	man, err := catalog.ManifestFor(manName, 1, m, &catalog.TrainingInfo{
+		Tool: "rptrain", Seed: *seed, Scale: *scale,
+		PopSize: *pop, Generations: *gen,
+		MinARR: *minARR, AlphaTrain: stats.AlphaTrain,
+	}, time.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := catalog.WriteManifest(*out, man); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model written to %s (digest %.12s…, manifest alongside; %.1fs total)\n",
+		*out, man.Digest, time.Since(start).Seconds())
 }

@@ -5,7 +5,7 @@
 // lightweight acquisition clients (one per patient) push samples at it —
 // whole records for retrospective analysis, or chunk-by-chunk as the ADC
 // fills buffers. cmd/rpserve is that server; this example boots its handler
-// on a loopback port, trains a small model for its registry, and exercises
+// on a loopback port, trains a small model for its catalog, and exercises
 // both data paths with a plain HTTP client, exactly as an external program
 // would:
 //
@@ -28,9 +28,9 @@ import (
 	"time"
 
 	"rpbeat/internal/beatset"
+	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
 	"rpbeat/internal/ecgsyn"
-	"rpbeat/internal/fixp"
 	"rpbeat/internal/pipeline"
 	"rpbeat/internal/serve"
 )
@@ -39,7 +39,7 @@ func main() {
 	log.SetFlags(0)
 
 	// --- train a small model and stand the server up ---
-	fmt.Println("training a reduced-scale model for the registry...")
+	fmt.Println("training a reduced-scale model for the catalog...")
 	ds, err := beatset.Build(beatset.Config{Seed: 31, Scale: 0.03})
 	if err != nil {
 		log.Fatal(err)
@@ -51,16 +51,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	emb, err := m.Quantize(fixp.MFLinear)
+
+	// The catalog versions models as name@vN; the first Put becomes the
+	// default. cmd/rpserve adds persistence (-models-dir) and the admin
+	// endpoints let clients upload more versions at runtime.
+	cat := catalog.New()
+	man, err := cat.Put("default", m, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	reg := pipeline.NewRegistry()
-	if err := reg.Register("default", emb); err != nil {
+	entry, err := cat.Snapshot().Resolve(man.Ref())
+	if err != nil {
 		log.Fatal(err)
 	}
-	eng := pipeline.NewEngine(reg, pipeline.EngineConfig{})
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{})
 	defer eng.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -68,9 +72,9 @@ func main() {
 		log.Fatal(err)
 	}
 	base := "http://" + ln.Addr().String()
-	go http.Serve(ln, serve.NewHandler(eng, "default"))
-	fmt.Printf("rpserve handler listening on %s (model %q: %d bytes on-node)\n\n",
-		base, "default", emb.MemoryBytes())
+	go http.Serve(ln, serve.NewHandler(eng, serve.HandlerConfig{}))
+	fmt.Printf("rpserve handler listening on %s (model %s: %d bytes on-node, digest %.12s…)\n\n",
+		base, man.Ref(), entry.Emb.MemoryBytes(), man.Digest)
 
 	// --- a "patient": 60 s of synthetic ECG with ectopic beats ---
 	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "patient-7", Seconds: 60, Seed: 7, PVCRate: 0.15})
@@ -122,17 +126,17 @@ func main() {
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	for sc.Scan() {
 		var line struct {
-			Sample *int   `json:"sample"`
-			Class  string `json:"class"`
-			Done   bool   `json:"done"`
-			Beats  int    `json:"beats"`
-			Error  string `json:"error"`
+			Sample *int            `json:"sample"`
+			Class  string          `json:"class"`
+			Done   bool            `json:"done"`
+			Beats  int             `json:"beats"`
+			Error  json.RawMessage `json:"error"` // typed {"code","message"} body
 		}
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			log.Fatal(err)
 		}
 		switch {
-		case line.Error != "":
+		case len(line.Error) > 0:
 			log.Fatalf("server: %s", line.Error)
 		case line.Done:
 			done = serve.StreamDone{Done: true, Beats: line.Beats}

@@ -1,0 +1,109 @@
+// Package apierr is the service's error vocabulary: every failure a client
+// can observe is an *Error carrying a stable machine-readable code, a human
+// message and the HTTP status the serving layer renders it with. The codes
+// are the API contract — internal/serve turns any error reaching a handler
+// into the uniform JSON body
+//
+//	{"error":{"code":"model_not_found","message":"..."}}
+//
+// so clients switch on Code, never on message text. Packages below the HTTP
+// layer (internal/catalog, internal/pipeline) return *Error directly for
+// conditions a client caused; anything else is wrapped as CodeInternal at
+// the boundary.
+package apierr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code identifies one failure class of the API contract.
+type Code string
+
+// The API error codes. Stable: clients are expected to switch on these.
+const (
+	// CodeModelNotFound: the model reference does not resolve to a catalog
+	// entry (unknown name, unknown version, or no default configured).
+	CodeModelNotFound Code = "model_not_found"
+	// CodeModelExists: an upload is byte-identical (same digest) to a
+	// version the catalog already holds for that name.
+	CodeModelExists Code = "model_exists"
+	// CodeStreamOverloaded: a stream's input queue is full; the producer
+	// outruns the worker pool and should back off.
+	CodeStreamOverloaded Code = "stream_overloaded"
+	// CodeBadInput: the request is malformed (bad JSON, bad model
+	// reference syntax, empty samples, invalid model bytes, ...).
+	CodeBadInput Code = "bad_input"
+	// CodeMethodNotAllowed: the path exists but not with this HTTP method.
+	CodeMethodNotAllowed Code = "method_not_allowed"
+	// CodeNotFound: no such route (or resource kind) at all.
+	CodeNotFound Code = "not_found"
+	// CodePayloadTooLarge: the request body exceeds the endpoint's limit.
+	CodePayloadTooLarge Code = "payload_too_large"
+	// CodeCanceled: the request context was canceled or timed out before
+	// the work finished.
+	CodeCanceled Code = "canceled"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// httpStatus maps each code to the status the HTTP layer writes.
+// CodeCanceled uses 499 (client closed request, the de-facto convention).
+var httpStatus = map[Code]int{
+	CodeModelNotFound:    http.StatusNotFound,
+	CodeModelExists:      http.StatusConflict,
+	CodeStreamOverloaded: http.StatusServiceUnavailable,
+	CodeBadInput:         http.StatusBadRequest,
+	CodeMethodNotAllowed: http.StatusMethodNotAllowed,
+	CodeNotFound:         http.StatusNotFound,
+	CodePayloadTooLarge:  http.StatusRequestEntityTooLarge,
+	CodeCanceled:         499,
+	CodeInternal:         http.StatusInternalServerError,
+}
+
+// Error is one typed API failure.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+// New builds an *Error with a formatted message.
+func New(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Message }
+
+// HTTPStatus returns the status code the error renders with.
+func (e *Error) HTTPStatus() int {
+	if s, ok := httpStatus[e.Code]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// From coerces any error to an *Error: typed errors pass through (also when
+// wrapped), context cancellation/timeout becomes CodeCanceled, and anything
+// else is CodeInternal. From(nil) is nil.
+func From(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return New(CodeCanceled, "%v", err)
+	}
+	return New(CodeInternal, "%v", err)
+}
+
+// IsCode reports whether err is (or wraps) an *Error with the given code.
+func IsCode(err error, code Code) bool {
+	var ae *Error
+	return errors.As(err, &ae) && ae.Code == code
+}

@@ -1,0 +1,71 @@
+package apierr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestErrorFormatting(t *testing.T) {
+	err := New(CodeModelNotFound, "model %q not found", "ecg@v3")
+	if err.Error() != `model_not_found: model "ecg@v3" not found` {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	if err.HTTPStatus() != http.StatusNotFound {
+		t.Fatalf("HTTPStatus() = %d", err.HTTPStatus())
+	}
+}
+
+func TestHTTPStatusCovered(t *testing.T) {
+	codes := []Code{
+		CodeModelNotFound, CodeModelExists, CodeStreamOverloaded,
+		CodeBadInput, CodeMethodNotAllowed, CodeNotFound,
+		CodePayloadTooLarge, CodeCanceled, CodeInternal,
+	}
+	for _, c := range codes {
+		if New(c, "x").HTTPStatus() == 0 {
+			t.Fatalf("code %q has no HTTP status", c)
+		}
+	}
+	if New(Code("made_up"), "x").HTTPStatus() != http.StatusInternalServerError {
+		t.Fatal("unknown code should default to 500")
+	}
+}
+
+func TestFrom(t *testing.T) {
+	if From(nil) != nil {
+		t.Fatal("From(nil) should be nil")
+	}
+	typed := New(CodeModelExists, "dup")
+	if got := From(typed); got != typed {
+		t.Fatal("typed error should pass through unchanged")
+	}
+	wrapped := fmt.Errorf("put: %w", typed)
+	if got := From(wrapped); got.Code != CodeModelExists {
+		t.Fatalf("wrapped typed error lost its code: %+v", got)
+	}
+	if got := From(context.Canceled); got.Code != CodeCanceled {
+		t.Fatalf("context.Canceled -> %q", got.Code)
+	}
+	if got := From(context.DeadlineExceeded); got.Code != CodeCanceled {
+		t.Fatalf("DeadlineExceeded -> %q", got.Code)
+	}
+	if got := From(errors.New("boom")); got.Code != CodeInternal {
+		t.Fatalf("plain error -> %q", got.Code)
+	}
+}
+
+func TestIsCode(t *testing.T) {
+	err := fmt.Errorf("wrap: %w", New(CodeStreamOverloaded, "queue full"))
+	if !IsCode(err, CodeStreamOverloaded) {
+		t.Fatal("IsCode should see through wrapping")
+	}
+	if IsCode(err, CodeBadInput) {
+		t.Fatal("IsCode matched the wrong code")
+	}
+	if IsCode(errors.New("plain"), CodeInternal) {
+		t.Fatal("plain errors carry no code")
+	}
+}

@@ -1,0 +1,318 @@
+// Package catalog is the versioned model store behind the serving layer:
+// the successor of the old pipeline.Registry, redesigned for a server whose
+// models are uploaded, swapped and retired while requests are in flight.
+//
+// The core shape is copy-on-write over an immutable Snapshot:
+//
+//   - Readers (every classify/stream request) call Catalog.Snapshot — one
+//     atomic pointer load, no locks — and resolve "name" or "name@vN"
+//     references against that frozen view. A stream opened against a
+//     snapshot keeps its model for its whole life, even if the version is
+//     deleted mid-stream.
+//   - Writers (admin endpoints, directory reload) serialize on a mutex,
+//     build a new Snapshot beside the old one and swap the pointer. In
+//     Put/Delete/SetDefault the hot path never observes a half-applied
+//     mutation.
+//
+// Versions are immutable and append-only per name: Put always creates
+// max+1, re-uploading identical bytes is rejected by digest
+// (CodeModelExists), and "name" floats to the newest version while
+// "name@vN" stays pinned. When the catalog is opened over a directory,
+// every mutation is persisted (model binary + manifest sidecar, written
+// atomically) before it becomes visible, so a restart — or a SIGHUP-style
+// Reload — reconstructs the same catalog, digests verified.
+package catalog
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/core"
+	"rpbeat/internal/fixp"
+)
+
+// Entry is one resolved model version: its manifest and the quantized
+// executable form streams classify against. Entries are immutable and
+// shared across snapshots; the embedded classifier is read-only after
+// Quantize, so any number of streams may use it concurrently.
+type Entry struct {
+	Manifest Manifest
+	Emb      *core.Embedded
+
+	// filePath is the backing file of a directory catalog ("" for
+	// memory-only entries). Deletes remove exactly this file, which may be
+	// a hand-dropped bare name (ecg.json) rather than the canonical
+	// ecg@v1.bin.
+	filePath string
+}
+
+// Snapshot is an immutable view of the catalog. All methods are safe for
+// concurrent use by construction — nothing mutates a snapshot once
+// published.
+type Snapshot struct {
+	models     map[string][]*Entry // per name, ascending version
+	nextVer    map[string]int      // per name, smallest version Put may assign
+	defaultRef string              // "" = no default configured
+}
+
+// emptySnapshot is what a fresh catalog serves.
+var emptySnapshot = &Snapshot{models: map[string][]*Entry{}}
+
+// Resolve returns the entry a reference addresses: "" means the default
+// reference, "name" the newest version of name, "name@vN" exactly vN.
+func (s *Snapshot) Resolve(ref string) (*Entry, error) {
+	if ref == "" {
+		if s.defaultRef == "" {
+			return nil, apierr.New(apierr.CodeModelNotFound, "no default model configured")
+		}
+		ref = s.defaultRef
+	}
+	name, version, err := ParseRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	versions := s.models[name]
+	if len(versions) == 0 {
+		return nil, apierr.New(apierr.CodeModelNotFound, "model %q not found", name)
+	}
+	if version == 0 {
+		return versions[len(versions)-1], nil
+	}
+	for _, e := range versions {
+		if e.Manifest.Version == version {
+			return e, nil
+		}
+	}
+	return nil, apierr.New(apierr.CodeModelNotFound, "model %q has no version %d", name, version)
+}
+
+// Default returns the configured default reference ("" when unset).
+func (s *Snapshot) Default() string { return s.defaultRef }
+
+// Names returns the distinct model names, sorted.
+func (s *Snapshot) Names() []string {
+	names := make([]string, 0, len(s.models))
+	for n := range s.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Versions returns the entries of one name, ascending by version (nil for
+// an unknown name).
+func (s *Snapshot) Versions(name string) []*Entry { return s.models[name] }
+
+// Len counts model versions across all names.
+func (s *Snapshot) Len() int {
+	n := 0
+	for _, v := range s.models {
+		n += len(v)
+	}
+	return n
+}
+
+// clone copies the snapshot's maps (and per-name slices) for a writer to
+// mutate before publishing. Entries themselves are shared, never copied.
+func (s *Snapshot) clone() *Snapshot {
+	next := &Snapshot{
+		models:     make(map[string][]*Entry, len(s.models)),
+		nextVer:    make(map[string]int, len(s.nextVer)),
+		defaultRef: s.defaultRef,
+	}
+	for name, versions := range s.models {
+		next.models[name] = append([]*Entry(nil), versions...)
+	}
+	for name, v := range s.nextVer {
+		next.nextVer[name] = v
+	}
+	return next
+}
+
+// Catalog is the mutable, concurrency-safe model store. The zero value is
+// not usable; construct with New (memory-only) or Open (directory-backed).
+type Catalog struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[Snapshot]
+	dir  string // "" = memory-only
+}
+
+// New returns an empty, memory-only catalog (models live and die with the
+// process — the shape tests and examples use).
+func New() *Catalog {
+	c := &Catalog{}
+	c.snap.Store(emptySnapshot)
+	return c
+}
+
+// Open returns a catalog persisted under dir, creating the directory if
+// needed and loading every model already there (rptrain output dropped in
+// by hand, or the catalog's own persisted uploads).
+func Open(dir string) (*Catalog, error) {
+	c := &Catalog{dir: dir}
+	c.snap.Store(emptySnapshot)
+	if err := c.Reload(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dir returns the backing directory ("" for a memory-only catalog).
+func (c *Catalog) Dir() string { return c.dir }
+
+// Snapshot returns the current immutable view — one atomic load, safe on
+// any hot path.
+func (c *Catalog) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Put validates, quantizes and registers a model under the next version of
+// name, returning its manifest. The first model put into an empty catalog
+// becomes the default (floating, so later versions take over). Identical
+// bytes already present under the name are rejected with CodeModelExists.
+// Version numbers are never reused within a catalog's lifetime, even after
+// the latest version is deleted — a pinned name@vN can go away, but never
+// silently change meaning. (Across a restart of a directory catalog,
+// numbering resumes from the files still on disk.)
+func (c *Catalog) Put(name string, m *core.Model, tr *TrainingInfo) (Manifest, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.snap.Load()
+
+	version := 1
+	if nv := cur.nextVer[name]; nv > version {
+		version = nv
+	}
+	if versions := cur.models[name]; len(versions) > 0 {
+		if v := versions[len(versions)-1].Manifest.Version + 1; v > version {
+			version = v
+		}
+	}
+	man, err := NewManifest(name, version, m, tr)
+	if err != nil {
+		return Manifest{}, err
+	}
+	for _, e := range cur.models[name] {
+		if e.Manifest.Digest == man.Digest {
+			return Manifest{}, apierr.New(apierr.CodeModelExists,
+				"model %q already holds these exact bytes as version %d (digest %.12s…)",
+				name, e.Manifest.Version, man.Digest)
+		}
+	}
+	emb, err := m.Quantize(fixp.MFLinear)
+	if err != nil {
+		return Manifest{}, apierr.New(apierr.CodeBadInput, "model does not quantize: %v", err)
+	}
+	entry := &Entry{Manifest: man, Emb: emb}
+
+	if c.dir != "" {
+		if err := c.persistEntry(m, man); err != nil {
+			return Manifest{}, err
+		}
+		entry.filePath = entryPath(c.dir, man)
+	}
+	next := cur.clone()
+	next.models[name] = append(next.models[name], entry)
+	next.nextVer[name] = version + 1
+	// Only a genuinely empty catalog auto-defaults to its first model. A
+	// populated catalog without a default (multi-name directory, no DEFAULT
+	// file) waits for an explicit SetDefault — an upload must never steal
+	// the default traffic.
+	if len(cur.models) == 0 && next.defaultRef == "" {
+		next.defaultRef = name
+		if c.dir != "" {
+			if err := c.persistDefault(name); err != nil {
+				// Roll the persisted model files back: a failed Put must not
+				// resurrect from disk on the next Reload.
+				if rmErr := c.removeEntryFiles(entry); rmErr != nil {
+					err = errors.Join(err, rmErr)
+				}
+				return Manifest{}, err
+			}
+		}
+	}
+	c.snap.Store(next)
+	return man, nil
+}
+
+// Delete retires one explicit version. Deleting the version the default
+// reference resolves through — a pinned default, or the last version of a
+// floating default — is refused (CodeBadInput): repoint the default first,
+// so "" never silently stops resolving.
+func (c *Catalog) Delete(name string, version int) (Manifest, error) {
+	if err := ValidateName(name); err != nil {
+		return Manifest{}, err
+	}
+	if version < 1 {
+		return Manifest{}, apierr.New(apierr.CodeBadInput,
+			"delete requires an explicit version (name@vN)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.snap.Load()
+
+	versions := cur.models[name]
+	idx := -1
+	for i, e := range versions {
+		if e.Manifest.Version == version {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if len(versions) == 0 {
+			return Manifest{}, apierr.New(apierr.CodeModelNotFound, "model %q not found", name)
+		}
+		return Manifest{}, apierr.New(apierr.CodeModelNotFound, "model %q has no version %d", name, version)
+	}
+	if defName, defVer, err := ParseRef(cur.defaultRef); cur.defaultRef != "" && err == nil && defName == name {
+		if defVer == version || (defVer == 0 && len(versions) == 1) {
+			return Manifest{}, apierr.New(apierr.CodeBadInput,
+				"model %s@v%d is what the default %q resolves to; set a new default first",
+				name, version, cur.defaultRef)
+		}
+	}
+	man := versions[idx].Manifest
+
+	// Remove the authoritative model file first: if that fails, nothing
+	// changed (files and snapshot both intact). Once it is gone the delete
+	// is committed — the snapshot must follow, and a failure removing the
+	// manifest sidecar is tolerated (loadDir ignores orphan sidecars), so
+	// memory and disk can never disagree about whether the version exists.
+	if err := c.removeEntryFiles(versions[idx]); err != nil {
+		return Manifest{}, err
+	}
+	next := cur.clone()
+	left := append(append([]*Entry(nil), versions[:idx]...), versions[idx+1:]...)
+	if len(left) == 0 {
+		delete(next.models, name)
+	} else {
+		next.models[name] = left
+	}
+	c.snap.Store(next)
+	return man, nil
+}
+
+// SetDefault repoints the default reference. A bare "name" floats with new
+// uploads; "name@vN" pins a version. The reference must resolve now.
+func (c *Catalog) SetDefault(ref string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.snap.Load()
+	if ref == "" {
+		return apierr.New(apierr.CodeBadInput, "empty default reference")
+	}
+	if _, err := cur.Resolve(ref); err != nil {
+		return err
+	}
+	if c.dir != "" {
+		if err := c.persistDefault(ref); err != nil {
+			return err
+		}
+	}
+	next := cur.clone()
+	next.defaultRef = ref
+	c.snap.Store(next)
+	return nil
+}

@@ -1,0 +1,585 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/core"
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/rng"
+	"rpbeat/internal/rp"
+)
+
+// fabricate builds a structurally valid model without training (kernel
+// parameters are irrelevant to catalog semantics). Different seeds give
+// different digests.
+func fabricate(seed uint64) *core.Model {
+	r := rng.New(seed)
+	const k, d = 4, 16
+	P := &rp.Matrix{K: k, D: d, El: make([]int8, k*d)}
+	for i := range P.El {
+		P.El[i] = r.Trit()
+	}
+	mf := nfc.NewParams(k)
+	for i := range mf.C {
+		mf.C[i] = 100 * (r.Float64() - 0.5)
+		mf.Sigma[i] = 1 + 20*r.Float64()
+	}
+	return &core.Model{K: k, D: d, Downsample: 1, P: P, MF: mf, AlphaTrain: 0.5, MinARR: 0.97}
+}
+
+func wantCode(t *testing.T, err error, code apierr.Code) {
+	t.Helper()
+	if !apierr.IsCode(err, code) {
+		t.Fatalf("err = %v, want code %q", err, code)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	for _, ok := range []string{"ecg", "a", "model-7_b.v2", "ECG90hz", "0start"} {
+		if err := ValidateName(ok); err != nil {
+			t.Fatalf("ValidateName(%q) = %v", ok, err)
+		}
+	}
+	bad := []string{"", "-lead", ".hidden", "a@b", "a/b", "a b", strings.Repeat("x", 65), "ümlaut"}
+	for _, name := range bad {
+		wantCode(t, ValidateName(name), apierr.CodeBadInput)
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		ref     string
+		name    string
+		version int
+	}{
+		{"ecg", "ecg", 0},
+		{"ecg@v1", "ecg", 1},
+		{"a-b.c@v42", "a-b.c", 42},
+	}
+	for _, tc := range cases {
+		name, v, err := ParseRef(tc.ref)
+		if err != nil || name != tc.name || v != tc.version {
+			t.Fatalf("ParseRef(%q) = %q,%d,%v; want %q,%d", tc.ref, name, v, err, tc.name, tc.version)
+		}
+	}
+	for _, bad := range []string{"", "@v1", "ecg@", "ecg@1", "ecg@v", "ecg@v0", "ecg@v-3", "ecg@vx", "ecg@v1x", "e cg@v1"} {
+		if _, _, err := ParseRef(bad); err == nil {
+			t.Fatalf("ParseRef(%q) accepted", bad)
+		} else {
+			wantCode(t, err, apierr.CodeBadInput)
+		}
+	}
+}
+
+func TestPutVersioningAndResolve(t *testing.T) {
+	c := New()
+	if _, err := c.Snapshot().Resolve(""); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("empty catalog default resolve: %v", err)
+	}
+
+	m1, err := c.Put("ecg", fabricate(1), &TrainingInfo{Tool: "test", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Version != 1 || m1.Ref() != "ecg@v1" || m1.Digest == "" || m1.SizeBytes == 0 {
+		t.Fatalf("first manifest: %+v", m1)
+	}
+	if got := c.Snapshot().Default(); got != "ecg" {
+		t.Fatalf("first put should set a floating default, got %q", got)
+	}
+
+	m2, err := c.Put("ecg", fabricate(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != 2 {
+		t.Fatalf("second put version = %d", m2.Version)
+	}
+
+	snap := c.Snapshot()
+	for ref, wantDigest := range map[string]string{
+		"":       m2.Digest, // default floats to latest
+		"ecg":    m2.Digest,
+		"ecg@v2": m2.Digest,
+		"ecg@v1": m1.Digest,
+	} {
+		e, err := snap.Resolve(ref)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", ref, err)
+		}
+		if e.Manifest.Digest != wantDigest {
+			t.Fatalf("Resolve(%q) → v%d, wrong version", ref, e.Manifest.Version)
+		}
+		if e.Emb == nil {
+			t.Fatalf("Resolve(%q): no embedded classifier", ref)
+		}
+	}
+
+	_, err = snap.Resolve("nope")
+	wantCode(t, err, apierr.CodeModelNotFound)
+	_, err = snap.Resolve("ecg@v9")
+	wantCode(t, err, apierr.CodeModelNotFound)
+	_, err = snap.Resolve("ecg@@")
+	wantCode(t, err, apierr.CodeBadInput)
+
+	if n := snap.Len(); n != 2 {
+		t.Fatalf("Len = %d", n)
+	}
+	if names := snap.Names(); len(names) != 1 || names[0] != "ecg" {
+		t.Fatalf("Names = %v", names)
+	}
+	if versions := snap.Versions("ecg"); len(versions) != 2 || versions[0].Manifest.Version != 1 {
+		t.Fatalf("Versions misordered: %+v", versions)
+	}
+}
+
+// TestUploadNeverStealsDefault: a populated catalog with no default (e.g. a
+// multi-name directory without a DEFAULT file) must not hand the default to
+// whatever is uploaded next; only the first model of an empty catalog
+// auto-defaults.
+func TestUploadNeverStealsDefault(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a", "b"} {
+		data, err := json.Marshal(fabricate(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def := c.Snapshot().Default(); def != "" {
+		t.Fatalf("multi-name dir should boot without a default, got %q", def)
+	}
+	if _, err := c.Put("canary", fabricate(9), nil); err != nil {
+		t.Fatal(err)
+	}
+	if def := c.Snapshot().Default(); def != "" {
+		t.Fatalf("upload into a populated catalog stole the default: %q", def)
+	}
+	if err := c.SetDefault("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReloadKeepsVersionHighWater: deleting the latest version and then
+// hot-reloading must not let the retired number be reassigned — the
+// in-memory high-water mark survives the reload.
+func TestReloadKeepsVersionHighWater(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("ecg", fabricate(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("ecg", fabricate(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefault("ecg@v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("ecg", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := c.Put("ecg", fabricate(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 3 {
+		t.Fatalf("reload reissued a retired version number: got v%d, want v3", man.Version)
+	}
+}
+
+func TestPutDuplicateDigest(t *testing.T) {
+	c := New()
+	if _, err := c.Put("ecg", fabricate(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Put("ecg", fabricate(1), nil)
+	wantCode(t, err, apierr.CodeModelExists)
+	// Same bytes under a different name are a new lineage, not a conflict.
+	if _, err := c.Put("other", fabricate(1), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutRejectsBadNames(t *testing.T) {
+	c := New()
+	_, err := c.Put("bad@name", fabricate(1), nil)
+	wantCode(t, err, apierr.CodeBadInput)
+	_, err = c.Put("", fabricate(1), nil)
+	wantCode(t, err, apierr.CodeBadInput)
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	c := New()
+	if _, err := c.Put("ecg", fabricate(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("ecg", fabricate(2), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// v1 is not what the floating default resolves to — deletable.
+	man, err := c.Delete("ecg", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 1 {
+		t.Fatalf("deleted %+v", man)
+	}
+	_, err = c.Snapshot().Resolve("ecg@v1")
+	wantCode(t, err, apierr.CodeModelNotFound)
+	if _, err := c.Snapshot().Resolve("ecg"); err != nil {
+		t.Fatalf("latest should survive: %v", err)
+	}
+
+	// The last version of the default name is protected.
+	_, err = c.Delete("ecg", 2)
+	wantCode(t, err, apierr.CodeBadInput)
+
+	// Repoint the default, then the delete goes through.
+	if _, err := c.Put("spare", fabricate(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefault("spare"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("ecg", 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Snapshot().Resolve("ecg")
+	wantCode(t, err, apierr.CodeModelNotFound)
+
+	// Deleting the unknown and the missing version are typed.
+	_, err = c.Delete("ghost", 1)
+	wantCode(t, err, apierr.CodeModelNotFound)
+	_, err = c.Delete("spare", 9)
+	wantCode(t, err, apierr.CodeModelNotFound)
+	_, err = c.Delete("spare", 0)
+	wantCode(t, err, apierr.CodeBadInput)
+}
+
+// TestVersionNumbersNeverReused: deleting the latest version must not free
+// its number — a later Put gets a fresh version, so a pinned name@vN can
+// disappear but never silently change meaning.
+func TestVersionNumbersNeverReused(t *testing.T) {
+	c := New()
+	if _, err := c.Put("ecg", fabricate(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("ecg", fabricate(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("ecg", 2); err != nil {
+		t.Fatal(err)
+	}
+	man, err := c.Put("ecg", fabricate(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 3 {
+		t.Fatalf("deleted version number was reused: new Put got v%d, want v3", man.Version)
+	}
+	// Even after every version of a name is gone, its numbering continues.
+	if _, err := c.Put("spare", fabricate(4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefault("spare"); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{1, 3} {
+		if _, err := c.Delete("ecg", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, err = c.Put("ecg", fabricate(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != 4 {
+		t.Fatalf("numbering restarted after full deletion: got v%d, want v4", man.Version)
+	}
+}
+
+// TestDeleteOfBareFilePersists: a model loaded from a hand-dropped bare
+// file (ecg.json, not ecg@v1.bin) must have that actual file removed on
+// Delete, so the deletion survives Reload and restart.
+func TestDeleteOfBareFilePersists(t *testing.T) {
+	dir := t.TempDir()
+	data, err := json.Marshal(fabricate(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ecg.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bare file is the default's only version: repoint first.
+	if _, err := c.Put("spare", fabricate(5), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefault("spare"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("ecg", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("bare model file survived its delete: %v", err)
+	}
+	if err := c.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Snapshot().Resolve("ecg"); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("deleted bare-file model resurrected on reload: %v", err)
+	}
+}
+
+func TestPinnedDefault(t *testing.T) {
+	c := New()
+	m1, err := c.Put("ecg", fabricate(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefault("ecg@v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("ecg", fabricate(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Snapshot().Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Manifest.Digest != m1.Digest {
+		t.Fatal("pinned default drifted to a newer version")
+	}
+	// The pinned version is protected from deletion; its sibling is not.
+	_, err = c.Delete("ecg", 1)
+	wantCode(t, err, apierr.CodeBadInput)
+	if _, err := c.Delete("ecg", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	wantCode(t, c.SetDefault("ghost"), apierr.CodeModelNotFound)
+	wantCode(t, c.SetDefault("ecg@v7"), apierr.CodeModelNotFound)
+	wantCode(t, c.SetDefault(""), apierr.CodeBadInput)
+}
+
+func TestDirPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &TrainingInfo{Tool: "rptrain", Seed: 9, PopSize: 4, Generations: 2}
+	m1, err := c.Put("ecg", fabricate(1), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("ecg", fabricate(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("holter", fabricate(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDefault("holter"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Open over the same directory reconstructs everything.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c2.Snapshot()
+	if snap.Len() != 3 {
+		t.Fatalf("reloaded Len = %d", snap.Len())
+	}
+	if snap.Default() != "holter" {
+		t.Fatalf("reloaded default = %q", snap.Default())
+	}
+	e, err := snap.Resolve("ecg@v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Manifest.Digest != m1.Digest {
+		t.Fatal("digest changed across persist/reload")
+	}
+	if e.Manifest.Training == nil || e.Manifest.Training.Tool != "rptrain" {
+		t.Fatalf("training provenance lost: %+v", e.Manifest.Training)
+	}
+	if !e.Manifest.CreatedAt.Equal(m1.CreatedAt) {
+		t.Fatalf("CreatedAt drifted: %v vs %v", e.Manifest.CreatedAt, m1.CreatedAt)
+	}
+
+	// Delete persists too.
+	if _, err := c2.Delete("ecg", 1); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Snapshot().Resolve("ecg@v1"); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("deleted version survived reload: %v", err)
+	}
+}
+
+func TestDirLoadsBareTrainOutput(t *testing.T) {
+	// The README flow: rptrain writes ecg.json (+ manifest sidecar), the
+	// file is dropped into the models dir, rpserve opens it as ecg@v1.
+	dir := t.TempDir()
+	m := fabricate(4)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ecg.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := ManifestFor("ecg", 1, m, &TrainingInfo{Tool: "rptrain", Seed: 4}, man0Time())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteManifest(path, man); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.Default() != "ecg" {
+		t.Fatalf("sole name should be the default, got %q", snap.Default())
+	}
+	e, err := snap.Resolve("ecg@v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Manifest.Training == nil || e.Manifest.Training.Seed != 4 {
+		t.Fatalf("sidecar provenance not picked up: %+v", e.Manifest.Training)
+	}
+	if !e.Manifest.CreatedAt.Equal(man0Time()) {
+		t.Fatalf("sidecar CreatedAt not picked up: %v", e.Manifest.CreatedAt)
+	}
+}
+
+func TestDirRejectsDigestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := c.Put("ecg", fabricate(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the sidecar's digest; reload must refuse, old snapshot stays.
+	side := filepath.Join(dir, fmt.Sprintf("ecg@v%d.manifest.json", man.Version))
+	man.Digest = strings.Repeat("0", 64)
+	data, _ := json.Marshal(man)
+	if err := os.WriteFile(side, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reload(); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("Reload with corrupt manifest: %v", err)
+	}
+	if _, err := c.Snapshot().Resolve("ecg"); err != nil {
+		t.Fatalf("failed reload should leave the old snapshot serving: %v", err)
+	}
+}
+
+func TestMemoryCatalogHasNoReload(t *testing.T) {
+	if err := New().Reload(); err == nil {
+		t.Fatal("memory-only Reload should error")
+	}
+}
+
+// TestConcurrentReadersAndWriters is the copy-on-write race test: readers
+// resolve against snapshots while writers put, delete and repoint the
+// default. Run under -race (CI does), correctness is "no torn reads": every
+// successfully resolved entry is internally consistent.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	c := New()
+	if _, err := c.Put("base", fabricate(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := c.Snapshot()
+				for _, ref := range []string{"", "base", "churn"} {
+					e, err := snap.Resolve(ref)
+					if err != nil {
+						continue // churn versions come and go; typed errors are fine
+					}
+					if e.Emb == nil || e.Manifest.Digest == "" {
+						t.Error("torn entry observed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := uint64(1); i <= 30; i++ {
+		man, err := c.Put("churn", fabricate(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := c.SetDefault("churn@v" + fmt.Sprint(man.Version)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetDefault("base"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if man.Version > 1 {
+			if _, err := c.Delete("churn", man.Version-1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func man0Time() time.Time {
+	t0, _ := time.Parse(time.RFC3339, "2026-07-01T12:00:00Z")
+	return t0
+}

@@ -1,0 +1,267 @@
+package catalog
+
+// Directory persistence. A catalog directory holds, per model version,
+//
+//	<name>@v<N>.bin            the canonical binary codec form
+//	<name>@v<N>.manifest.json  the manifest (digest, provenance, created-at)
+//
+// plus an optional DEFAULT file carrying the default reference. Writes go
+// through a temp file + rename so a crash never leaves a half-written
+// model, and loads recompute every digest from the model bytes — a
+// manifest that disagrees with its model is a hard error, not a shrug.
+//
+// The loader also accepts hand-dropped rptrain output: a bare `ecg.json`
+// or `ecg.bin` (no @vN) registers as ecg@v1, with `ecg.manifest.json`
+// picked up when present. That is the README's
+// rptrain → model dir → rpserve -models-dir flow.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"rpbeat/internal/core"
+	"rpbeat/internal/fixp"
+)
+
+const (
+	manifestSuffix = ".manifest.json"
+	defaultFile    = "DEFAULT"
+)
+
+func entryPath(dir string, man Manifest) string {
+	return filepath.Join(dir, fmt.Sprintf("%s@v%d.bin", man.Name, man.Version))
+}
+
+func manifestPathFor(modelPath string) string {
+	ext := filepath.Ext(modelPath)
+	return strings.TrimSuffix(modelPath, ext) + manifestSuffix
+}
+
+// writeFileAtomic writes via a temp file in the same directory + rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	merr := tmp.Chmod(0o644) // CreateTemp defaults to 0600
+	cerr := tmp.Close()
+	if werr != nil || merr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return errors.Join(werr, merr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// WriteManifest writes a manifest sidecar next to a model file: for
+// `ecg.json` or `ecg@v2.bin` it writes `ecg.manifest.json` /
+// `ecg@v2.manifest.json`. cmd/rptrain uses this to emit provenance beside
+// its output model.
+func WriteManifest(modelPath string, man Manifest) error {
+	data, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(manifestPathFor(modelPath), append(data, '\n'))
+}
+
+// persistEntry writes the model binary and its manifest. Callers hold c.mu.
+func (c *Catalog) persistEntry(m *core.Model, man Manifest) error {
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		return err
+	}
+	path := entryPath(c.dir, man)
+	if err := writeFileAtomic(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("catalog: persist %s: %w", man.Ref(), err)
+	}
+	if err := WriteManifest(path, man); err != nil {
+		return fmt.Errorf("catalog: persist %s manifest: %w", man.Ref(), err)
+	}
+	return nil
+}
+
+// persistDefault writes the DEFAULT file. Callers hold c.mu.
+func (c *Catalog) persistDefault(ref string) error {
+	if err := writeFileAtomic(filepath.Join(c.dir, defaultFile), []byte(ref+"\n")); err != nil {
+		return fmt.Errorf("catalog: persist default: %w", err)
+	}
+	return nil
+}
+
+// removeEntryFiles deletes a version's backing files — whatever file the
+// entry was actually loaded from (a bare ecg.json drop-in included), so a
+// delete never resurrects on Reload. The model file is authoritative: its
+// removal failing fails the call; a leftover manifest sidecar is harmless
+// (loadDir skips sidecars without a model file) and is not worth failing
+// an otherwise-committed delete over. Callers hold c.mu; memory-only
+// entries are a no-op.
+func (c *Catalog) removeEntryFiles(e *Entry) error {
+	if e.filePath == "" {
+		return nil
+	}
+	if err := os.Remove(e.filePath); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("catalog: delete %s: %w", e.Manifest.Ref(), err)
+	}
+	os.Remove(manifestPathFor(e.filePath)) // best-effort; orphans are ignored on load
+	return nil
+}
+
+// Reload re-reads the backing directory and atomically swaps the catalog
+// to what it holds — the hot-reload path (cmd/rpserve wires it to SIGHUP).
+// On error the current snapshot stays in place untouched. Memory-only
+// catalogs have nothing to reload from.
+func (c *Catalog) Reload() error {
+	if c.dir == "" {
+		return errors.New("catalog: memory-only catalog has no directory to reload")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	snap, err := loadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	// The on-disk files only witness the versions still alive; the current
+	// snapshot's high-water marks also remember deleted ones. Keep the max,
+	// so a delete + reload cannot hand a retired version number to new
+	// bytes (the never-reuse guarantee of Put).
+	for name, v := range c.snap.Load().nextVer {
+		if v > snap.nextVer[name] {
+			snap.nextVer[name] = v
+		}
+	}
+	c.snap.Store(snap)
+	return nil
+}
+
+// loadDir builds a snapshot from a directory's model files.
+func loadDir(dir string) (*Snapshot, error) {
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{models: map[string][]*Entry{}, nextVer: map[string]int{}}
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || strings.HasPrefix(name, ".") ||
+			strings.HasSuffix(name, manifestSuffix) || name == defaultFile {
+			continue
+		}
+		ext := filepath.Ext(name)
+		if ext != ".bin" && ext != ".json" {
+			continue
+		}
+		entry, err := loadEntry(filepath.Join(dir, name), strings.TrimSuffix(name, ext))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range snap.models[entry.Manifest.Name] {
+			if e.Manifest.Version == entry.Manifest.Version {
+				return nil, fmt.Errorf("catalog: %s: duplicate version %s (two files claim it)",
+					dir, entry.Manifest.Ref())
+			}
+		}
+		snap.models[entry.Manifest.Name] = append(snap.models[entry.Manifest.Name], entry)
+	}
+	for name, versions := range snap.models {
+		sort.Slice(versions, func(i, j int) bool {
+			return versions[i].Manifest.Version < versions[j].Manifest.Version
+		})
+		snap.nextVer[name] = versions[len(versions)-1].Manifest.Version + 1
+	}
+
+	defRef, err := os.ReadFile(filepath.Join(dir, defaultFile))
+	switch {
+	case err == nil:
+		ref := strings.TrimSpace(string(defRef))
+		if _, err := snap.Resolve(ref); err != nil {
+			return nil, fmt.Errorf("catalog: %s: DEFAULT %q does not resolve: %w", dir, ref, err)
+		}
+		snap.defaultRef = ref
+	case errors.Is(err, os.ErrNotExist):
+		// No DEFAULT file: a single-name directory defaults to that name;
+		// anything else waits for an explicit SetDefault.
+		if names := snap.Names(); len(names) == 1 {
+			snap.defaultRef = names[0]
+		}
+	default:
+		return nil, err
+	}
+	return snap, nil
+}
+
+// loadEntry reads one model file. The stem (filename minus extension) is
+// either "name@vN" or a bare "name" (registered as version 1). The digest
+// is always recomputed from the bytes; a manifest sidecar contributes
+// provenance (CreatedAt, Training) and must agree on the digest.
+func loadEntry(path, stem string) (*Entry, error) {
+	name, version, err := ParseRef(stem)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %s: filename is not a model reference: %w", path, err)
+	}
+	if version == 0 {
+		version = 1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %s: %w", path, err)
+	}
+	man, err := NewManifest(name, version, m, nil)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %s: %w", path, err)
+	}
+
+	if side, err := os.ReadFile(manifestPathFor(path)); err == nil {
+		var prev Manifest
+		if err := json.Unmarshal(side, &prev); err != nil {
+			return nil, fmt.Errorf("catalog: %s: corrupt manifest sidecar: %w", path, err)
+		}
+		if prev.Digest != "" && prev.Digest != man.Digest {
+			return nil, fmt.Errorf("catalog: %s: digest mismatch (manifest %.12s…, model bytes %.12s…)",
+				path, prev.Digest, man.Digest)
+		}
+		if !prev.CreatedAt.IsZero() {
+			man.CreatedAt = prev.CreatedAt
+		}
+		man.Training = prev.Training
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	emb, err := m.Quantize(fixp.MFLinear)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %s: model does not quantize: %w", path, err)
+	}
+	return &Entry{Manifest: man, Emb: emb, filePath: path}, nil
+}
+
+// ManifestFor recomputes the manifest a model file would register with —
+// what cmd/rptrain calls before WriteManifest.
+func ManifestFor(name string, version int, m *core.Model, tr *TrainingInfo, created time.Time) (Manifest, error) {
+	man, err := NewManifest(name, version, m, tr)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if !created.IsZero() {
+		man.CreatedAt = created.UTC()
+	}
+	return man, nil
+}

@@ -1,0 +1,129 @@
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/core"
+)
+
+// TrainingInfo records how a model was produced — the provenance half of a
+// manifest. It is emitted by cmd/rptrain and carried verbatim through
+// uploads and directory loads; the catalog never interprets it.
+type TrainingInfo struct {
+	Tool        string  `json:"tool,omitempty"` // e.g. "rptrain"
+	Seed        uint64  `json:"seed,omitempty"`
+	Scale       float64 `json:"scale,omitempty"` // dataset scale
+	PopSize     int     `json:"popSize,omitempty"`
+	Generations int     `json:"generations,omitempty"`
+	MinARR      float64 `json:"minARR,omitempty"`
+	AlphaTrain  float64 `json:"alphaTrain,omitempty"`
+}
+
+// Manifest is the catalog's description of one model version: identity
+// (name@vN), structural dimensions, the SHA-256 digest of the canonical
+// binary codec form (recomputed on every upload and directory load — never
+// trusted from the wire) and provenance. Manifests are what admin endpoints
+// return and what sits next to each model file on disk.
+type Manifest struct {
+	Name       string        `json:"name"`
+	Version    int           `json:"version"`
+	K          int           `json:"k"`
+	D          int           `json:"d"`
+	Downsample int           `json:"downsample"`
+	Digest     string        `json:"digest"`    // sha256 hex of the binary codec form
+	SizeBytes  int           `json:"sizeBytes"` // binary codec size
+	CreatedAt  time.Time     `json:"createdAt"`
+	Training   *TrainingInfo `json:"training,omitempty"`
+}
+
+// Ref returns the fully qualified "name@vN" reference of the manifest.
+func (m Manifest) Ref() string { return m.Name + "@v" + strconv.Itoa(m.Version) }
+
+// NewManifest computes the manifest of a model under the given identity:
+// digest and size come from the canonical binary encoding (one pass through
+// WriteBinary), dimensions from the model itself. CreatedAt is stamped now
+// (UTC); pass the moment of training via a pre-filled manifest when
+// reloading from disk instead.
+func NewManifest(name string, version int, m *core.Model, tr *TrainingInfo) (Manifest, error) {
+	if err := ValidateName(name); err != nil {
+		return Manifest{}, err
+	}
+	if version < 1 {
+		return Manifest{}, apierr.New(apierr.CodeBadInput, "catalog: version %d < 1", version)
+	}
+	h := sha256.New()
+	var cw countWriter
+	if err := m.WriteBinary(io.MultiWriter(h, &cw)); err != nil {
+		return Manifest{}, apierr.New(apierr.CodeBadInput, "catalog: invalid model: %v", err)
+	}
+	return Manifest{
+		Name: name, Version: version,
+		K: m.K, D: m.D, Downsample: m.Downsample,
+		Digest: hex.EncodeToString(h.Sum(nil)), SizeBytes: cw.n,
+		CreatedAt: time.Now().UTC(),
+		Training:  tr,
+	}, nil
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+// ValidateName enforces the model-name alphabet: 1–64 characters of
+// [a-zA-Z0-9._-], starting alphanumeric. '@' is reserved for version
+// references, '/' and '\' for the filesystem the catalog persists to.
+func ValidateName(name string) error {
+	if name == "" {
+		return apierr.New(apierr.CodeBadInput, "catalog: empty model name")
+	}
+	if len(name) > 64 {
+		return apierr.New(apierr.CodeBadInput, "catalog: model name longer than 64 bytes")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return apierr.New(apierr.CodeBadInput,
+				"catalog: invalid model name %q (want [a-zA-Z0-9._-], starting alphanumeric)", name)
+		}
+	}
+	return nil
+}
+
+// ParseRef splits a model reference: "name" selects the latest version
+// (version 0 here), "name@vN" pins version N. Anything else — empty, bad
+// name, "name@", "name@v0", "name@3", trailing junk — is CodeBadInput.
+func ParseRef(ref string) (name string, version int, err error) {
+	if ref == "" {
+		return "", 0, apierr.New(apierr.CodeBadInput, "catalog: empty model reference")
+	}
+	name, ver, found := strings.Cut(ref, "@")
+	if err := ValidateName(name); err != nil {
+		return "", 0, err
+	}
+	if !found {
+		return name, 0, nil
+	}
+	digits, ok := strings.CutPrefix(ver, "v")
+	if !ok || digits == "" {
+		return "", 0, apierr.New(apierr.CodeBadInput,
+			"catalog: malformed reference %q (want name or name@vN)", ref)
+	}
+	n, convErr := strconv.Atoi(digits)
+	if convErr != nil || n < 1 {
+		return "", 0, apierr.New(apierr.CodeBadInput,
+			"catalog: malformed version in %q (want a positive integer after @v)", ref)
+	}
+	return name, n, nil
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -116,11 +118,28 @@ func (m *Model) WriteBinary(w io.Writer) error {
 	return err
 }
 
-// ReadBinary deserializes a model written by WriteBinary.
+// MaxModelBytes bounds any serialized model this package will read: larger
+// inputs are rejected before buffering, not after. The largest legitimate
+// model (k=d=MaxDim) is well under it.
+const MaxModelBytes = 16 << 20
+
+// MaxDim bounds each header dimension (k, d) of a model read from untrusted
+// bytes. The paper's deployed points are k≈8, d≤200; the cap leaves three
+// orders of magnitude of headroom while keeping the worst-case decode
+// allocation (the k*d unpacked matrix) a few MB instead of the ~4 GB a
+// corrupt uint16 pair could otherwise demand.
+const MaxDim = 1 << 12
+
+// ReadBinary deserializes a model written by WriteBinary. Input is
+// untrusted: the reader is capped at MaxModelBytes and header dimensions
+// are bounds-checked before any size derived from them is allocated.
 func ReadBinary(r io.Reader) (*Model, error) {
-	data, err := io.ReadAll(r)
+	data, err := io.ReadAll(io.LimitReader(r, MaxModelBytes+1))
 	if err != nil {
 		return nil, err
+	}
+	if len(data) > MaxModelBytes {
+		return nil, fmt.Errorf("core: binary model exceeds %d bytes", MaxModelBytes)
 	}
 	if len(data) < 4+2*4+2*8 {
 		return nil, errors.New("core: binary model truncated")
@@ -142,6 +161,9 @@ func ReadBinary(r io.Reader) (*Model, error) {
 	k, d, down := get16(), get16(), get16()
 	if k == 0 || d == 0 {
 		return nil, errors.New("core: zero dimensions in binary model")
+	}
+	if k > MaxDim || d > MaxDim {
+		return nil, fmt.Errorf("core: implausible model dimensions %dx%d (max %d)", k, d, MaxDim)
 	}
 	getF := func() float64 {
 		v := math.Float64frombits(le.Uint64(data[off:]))
@@ -170,4 +192,38 @@ func ReadBinary(r io.Reader) (*Model, error) {
 	}
 	m := &Model{K: k, D: d, Downsample: down, P: P, MF: mf, AlphaTrain: alphaTrain, MinARR: minARR}
 	return m, m.Validate()
+}
+
+// Digest returns the lowercase-hex SHA-256 of the model's binary codec form.
+// The binary form is canonical (fixed field order, little-endian, packed
+// matrix bytes), so the digest identifies the model's exact parameters
+// regardless of which encoding (JSON or binary) it traveled in — the
+// provenance key the model catalog versions by.
+func (m *Model) Digest() (string, error) {
+	h := sha256.New()
+	if err := m.WriteBinary(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Decode parses a serialized model in either supported encoding, sniffed by
+// the binary magic. It is the single entry point for model bytes of unknown
+// provenance (file loads, HTTP uploads) and applies the same bounds as
+// ReadBinary.
+func Decode(data []byte) (*Model, error) {
+	if len(data) > MaxModelBytes {
+		return nil, fmt.Errorf("core: model exceeds %d bytes", MaxModelBytes)
+	}
+	if bytes.HasPrefix(data, binMagic[:]) {
+		return ReadBinary(bytes.NewReader(data))
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: model is neither binary (no %q magic) nor valid JSON: %w", string(binMagic[:]), err)
+	}
+	if m.K > MaxDim || m.D > MaxDim {
+		return nil, fmt.Errorf("core: implausible model dimensions %dx%d (max %d)", m.K, m.D, MaxDim)
+	}
+	return &m, nil
 }

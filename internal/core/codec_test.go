@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/rng"
+	"rpbeat/internal/rp"
+)
+
+// randomModel fabricates a structurally valid model with the given
+// dimensions: Achlioptas-family matrix elements and positive finite MF
+// parameters, all drawn from the deterministic PRNG.
+func randomModel(r *rng.Rand, k, d, down int) *Model {
+	P := &rp.Matrix{K: k, D: d, El: make([]int8, k*d)}
+	for i := range P.El {
+		P.El[i] = r.Trit()
+	}
+	mf := nfc.NewParams(k)
+	for i := range mf.C {
+		mf.C[i] = 200 * (r.Float64() - 0.5)
+		mf.Sigma[i] = 0.1 + 50*r.Float64()
+	}
+	return &Model{
+		K: k, D: d, Downsample: down, P: P, MF: mf,
+		AlphaTrain: r.Float64(), MinARR: 0.9 + 0.09*r.Float64(),
+	}
+}
+
+// TestCodecRoundTripFuzz drives randomized models through both encodings:
+// JSON and binary must each round-trip to an identical model, and the
+// digest must be stable across the trip (digest is computed over the
+// canonical binary form, so equal parameters ⇒ equal digest regardless of
+// the encoding the model traveled in).
+func TestCodecRoundTripFuzz(t *testing.T) {
+	r := rng.New(77)
+	dims := []struct{ k, d, down int }{
+		{1, 1, 1}, {8, 50, 4}, {8, 200, 1}, {3, 7, 2}, {32, 50, 4}, {13, 33, 3},
+	}
+	for round := 0; round < 3; round++ {
+		for _, dim := range dims {
+			m := randomModel(r, dim.k, dim.d, dim.down)
+			wantDigest, err := m.Digest()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// JSON round trip.
+			js, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fromJSON Model
+			if err := json.Unmarshal(js, &fromJSON); err != nil {
+				t.Fatal(err)
+			}
+			assertModelsEqual(t, m, &fromJSON)
+
+			// Binary round trip.
+			var buf bytes.Buffer
+			if err := m.WriteBinary(&buf); err != nil {
+				t.Fatal(err)
+			}
+			fromBin, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertModelsEqual(t, m, fromBin)
+
+			// Decode sniffs both encodings.
+			viaDecodeJSON, err := Decode(js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaDecodeBin, err := Decode(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Digest stability across every path.
+			for _, got := range []*Model{&fromJSON, fromBin, viaDecodeJSON, viaDecodeBin} {
+				dg, err := got.Digest()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dg != wantDigest {
+					t.Fatalf("k=%d d=%d: digest drifted across codec round trip", dim.k, dim.d)
+				}
+			}
+		}
+	}
+}
+
+// TestReadBinaryRejectsCorruptHeaders feeds headers claiming absurd
+// dimensions and checks they are rejected by bounds checking, not by
+// attempting the multi-GB allocations the headers imply.
+func TestReadBinaryRejectsCorruptHeaders(t *testing.T) {
+	header := func(k, d, down uint16) []byte {
+		var buf bytes.Buffer
+		buf.Write([]byte("RPBT"))
+		le := binary.LittleEndian
+		for _, v := range []uint16{1, k, d, down} {
+			var u [2]byte
+			le.PutUint16(u[:], v)
+			buf.Write(u[:])
+		}
+		var f [8]byte
+		le.PutUint64(f[:], math.Float64bits(0.5))
+		buf.Write(f[:]) // alphaTrain
+		buf.Write(f[:]) // minARR
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"max-uint16-dims", header(math.MaxUint16, math.MaxUint16, 1), "implausible"},
+		{"huge-k", header(math.MaxUint16, 50, 4), "implausible"},
+		{"huge-d", header(8, math.MaxUint16, 4), "implausible"},
+		{"zero-k", header(0, 50, 4), "zero dimensions"},
+		{"truncated", []byte("RPBT"), "truncated"},
+		{"bad-magic", bytes.Repeat([]byte{0xff}, 64), "bad magic"},
+		{"truncated-body", header(8, 50, 4), "truncated"},
+	}
+	for _, tc := range cases {
+		_, err := ReadBinary(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Fatalf("%s: corrupt input accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadBinaryBoundsReader verifies the reader itself is capped: a stream
+// longer than MaxModelBytes errors out instead of being buffered whole.
+func TestReadBinaryBoundsReader(t *testing.T) {
+	r := io_LimitedZeros{n: MaxModelBytes + 1024}
+	if _, err := ReadBinary(&r); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized stream: err = %v", err)
+	}
+}
+
+// io_LimitedZeros yields n zero bytes then EOF, without holding them.
+type io_LimitedZeros struct{ n int }
+
+func (z *io_LimitedZeros) Read(p []byte) (int, error) {
+	if z.n <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > z.n {
+		p = p[:z.n]
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	z.n -= len(p)
+	return len(p), nil
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"rpbeat/internal/ecgsyn"
@@ -57,11 +58,11 @@ func TestBatchClassifyIntoMatchesBatchClassify(t *testing.T) {
 		{Name: "b3", Seconds: 45, Seed: 12},
 	} {
 		lead := ecgsyn.Synthesize(spec).Leads[0]
-		want, err := BatchClassify(emb, lead, Config{})
+		want, err := BatchClassify(context.Background(), emb, lead, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := BatchClassifyInto(emb, lead, Config{}, &scratch)
+		got, err := BatchClassifyInto(context.Background(), emb, lead, Config{}, &scratch)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,77 +4,43 @@ package pipeline
 // pool — the serving shape of the ROADMAP's north star. Each stream owns one
 // Pipeline; a stream is only ever run by one worker at a time (so pipelines
 // need no locks and per-stream ordering is preserved), while different
-// streams run in parallel across the pool. Models are shared through a
-// Registry: core.Embedded is read-only after Quantize, so any number of
-// streams can classify against the same tables concurrently.
+// streams run in parallel across the pool. Models come from a
+// catalog.Catalog: Open resolves a "name" or "name@vN" reference against
+// the catalog's current snapshot (one atomic load) and pins the resolved
+// version for the stream's whole life — an admin deleting or superseding a
+// model never breaks an in-flight stream, the next Open simply resolves the
+// new state. core.Embedded is read-only after Quantize, so any number of
+// streams classify against the same tables concurrently.
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
-	"rpbeat/internal/core"
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/catalog"
 )
-
-// Registry is a concurrency-safe, named collection of embedded models.
-type Registry struct {
-	mu     sync.RWMutex
-	models map[string]*core.Embedded
-}
-
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*core.Embedded)}
-}
-
-// Register validates and adds a model under name, replacing any previous
-// holder of the name.
-func (r *Registry) Register(name string, emb *core.Embedded) error {
-	if name == "" {
-		return errors.New("pipeline: empty model name")
-	}
-	if emb == nil {
-		return errors.New("pipeline: nil model")
-	}
-	if err := emb.Validate(); err != nil {
-		return err
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.models[name] = emb
-	return nil
-}
-
-// Get returns the named model.
-func (r *Registry) Get(name string) (*core.Embedded, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	emb, ok := r.models[name]
-	if !ok {
-		return nil, fmt.Errorf("pipeline: unknown model %q", name)
-	}
-	return emb, nil
-}
-
-// Names returns the registered model names, sorted.
-func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.models))
-	for n := range r.models {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
 
 // EngineConfig sizes the engine.
 type EngineConfig struct {
 	// Workers bounds concurrent stream processing; default NumCPU.
 	Workers int
+	// MaxPending bounds the per-stream queue of un-processed input, in
+	// samples (so the memory bound holds whatever chunk sizes the producer
+	// picks). A Send that would exceed it fails with
+	// apierr.CodeStreamOverloaded — the producer outran the worker pool
+	// and must back off; nothing is dropped silently. A single chunk
+	// larger than the bound is still admitted when the queue is empty, so
+	// oversized chunks stall rather than starve. Default 1<<20 samples
+	// (4 MB of int32, ~48 minutes of one 360 Hz lead); negative means
+	// unbounded.
+	MaxPending int
 }
+
+// defaultMaxPending is the per-stream queue bound, in samples, when the
+// configuration leaves it zero.
+const defaultMaxPending = 1 << 20
 
 // streamState is the scheduling state of a Stream, guarded by Engine.mu.
 type streamState uint8
@@ -88,7 +54,8 @@ const (
 
 // Engine runs streams over its worker pool.
 type Engine struct {
-	reg *Registry
+	cat        *catalog.Catalog
+	maxPending int
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -97,12 +64,15 @@ type Engine struct {
 	wg       sync.WaitGroup
 }
 
-// NewEngine starts an engine over the registry's models.
-func NewEngine(reg *Registry, cfg EngineConfig) *Engine {
+// NewEngine starts an engine over the catalog's models.
+func NewEngine(cat *catalog.Catalog, cfg EngineConfig) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
-	e := &Engine{reg: reg}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = defaultMaxPending
+	}
+	e := &Engine{cat: cat, maxPending: cfg.MaxPending}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -111,64 +81,109 @@ func NewEngine(reg *Registry, cfg EngineConfig) *Engine {
 	return e
 }
 
-// Registry returns the engine's model registry.
-func (e *Engine) Registry() *Registry { return e.reg }
+// Catalog returns the engine's model catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
 // Stream is one patient's sample feed into the engine. Send and Close may be
 // called from any goroutine (but not concurrently with each other); the sink
 // is invoked serially, in input order, from worker goroutines.
 type Stream struct {
-	eng  *Engine
-	pipe *Pipeline
-	sink func([]BeatResult)
+	eng   *Engine
+	entry *catalog.Entry
+	pipe  *Pipeline
+	sink  func([]BeatResult)
 
 	// Guarded by eng.mu.
 	state   streamState
 	fifo    [][]int32
+	pending int // samples queued or reserved by an in-flight Send
 	closing bool
 	flushed bool
 
 	done chan struct{}
 }
 
-// Open creates a stream classifying against the named model. The sink
-// receives every batch of finalized beats; the slice passed to it is only
-// valid for the duration of the call.
-func (e *Engine) Open(model string, cfg Config, sink func([]BeatResult)) (*Stream, error) {
-	emb, err := e.reg.Get(model)
+// Open creates a stream classifying against the referenced model ("" for
+// the catalog default, "name" for its latest version, "name@vN" pinned).
+// The resolved version stays with the stream until Close regardless of
+// later catalog mutations. The sink receives every batch of finalized
+// beats; the slice passed to it is only valid for the duration of the call.
+func (e *Engine) Open(ctx context.Context, model string, cfg Config, sink func([]BeatResult)) (*Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, apierr.From(err)
+	}
+	entry, err := e.cat.Snapshot().Resolve(model)
 	if err != nil {
 		return nil, err
 	}
-	pipe, err := New(emb, cfg)
+	pipe, err := New(entry.Emb, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if sink == nil {
 		sink = func([]BeatResult) {}
 	}
-	return &Stream{eng: e, pipe: pipe, sink: sink, done: make(chan struct{})}, nil
+	return &Stream{eng: e, entry: entry, pipe: pipe, sink: sink, done: make(chan struct{})}, nil
 }
 
+// Entry returns the catalog entry the stream was opened against (the
+// version is pinned, so this is stable for the stream's life).
+func (s *Stream) Entry() *catalog.Entry { return s.entry }
+
 // Send enqueues a chunk of raw ADC samples. The slice is copied, so the
-// caller may reuse it immediately.
-func (s *Stream) Send(samples []int32) error {
+// caller may reuse it immediately. A canceled context fails the send before
+// the chunk is queued; a full stream queue fails it with
+// apierr.CodeStreamOverloaded. Admission is decided before the chunk is
+// copied, so a rejected Send (e.g. in a backpressure retry loop) costs no
+// allocation.
+func (s *Stream) Send(ctx context.Context, samples []int32) error {
+	if err := ctx.Err(); err != nil {
+		return apierr.From(err)
+	}
 	if len(samples) == 0 {
 		return nil
 	}
+
+	// Admission: reserve queue space under the lock, without the copy.
+	e := s.eng
+	e.mu.Lock()
+	if err := s.admitLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	if e.maxPending > 0 && s.pending > 0 && s.pending+len(samples) > e.maxPending {
+		pending := s.pending
+		e.mu.Unlock()
+		return apierr.New(apierr.CodeStreamOverloaded,
+			"stream queue full (%d samples pending); back off and retry", pending)
+	}
+	s.pending += len(samples)
+	e.mu.Unlock()
+
 	chunk := make([]int32, len(samples))
 	copy(chunk, samples)
 
-	e := s.eng
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if s.closing {
-		return errors.New("pipeline: send on closed stream")
-	}
-	if e.shutdown {
-		return errors.New("pipeline: engine closed")
+	if err := s.admitLocked(); err != nil {
+		// Close or engine shutdown raced the copy: release the reservation.
+		s.pending -= len(samples)
+		return err
 	}
 	s.fifo = append(s.fifo, chunk)
 	e.schedule(s)
+	return nil
+}
+
+// admitLocked checks the conditions that permanently reject a Send.
+// Callers must hold eng.mu.
+func (s *Stream) admitLocked() error {
+	if s.closing {
+		return errors.New("pipeline: send on closed stream")
+	}
+	if s.eng.shutdown {
+		return errors.New("pipeline: engine closed")
+	}
 	return nil
 }
 
@@ -239,6 +254,9 @@ func (e *Engine) worker() {
 		s.state = stateRunning
 		chunks := s.fifo
 		s.fifo = nil
+		for _, c := range chunks {
+			s.pending -= len(c) // reservations of in-flight Sends stay counted
+		}
 		flush := s.closing && !s.flushed
 		if flush {
 			s.flushed = true

@@ -1,11 +1,28 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"testing"
 
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/catalog"
 	"rpbeat/internal/ecgsyn"
 )
+
+// testCatalog builds a memory catalog holding the trained test model under
+// the given names (one version each).
+func testCatalog(t testing.TB, names ...string) *catalog.Catalog {
+	t.Helper()
+	m := testFloatModel(t)
+	cat := catalog.New()
+	for _, name := range names {
+		if _, err := cat.Put(name, m, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
 
 // TestEngineMatchesSequential drives several concurrent patient streams
 // through a shared worker pool and checks every stream's output against a
@@ -13,15 +30,9 @@ import (
 // does) this is also the engine's race-detector test.
 func TestEngineMatchesSequential(t *testing.T) {
 	emb := testModel(t)
-	reg := NewRegistry()
-	if err := reg.Register("a", emb); err != nil {
-		t.Fatal(err)
-	}
-	if err := reg.Register("b", emb); err != nil {
-		t.Fatal(err)
-	}
-	eng := NewEngine(reg, EngineConfig{Workers: 4})
+	eng := NewEngine(testCatalog(t, "a", "b"), EngineConfig{Workers: 4})
 	defer eng.Close()
+	ctx := context.Background()
 
 	const streams = 6
 	type result struct {
@@ -51,12 +62,13 @@ func TestEngineMatchesSequential(t *testing.T) {
 			}
 			results[si].want = append(results[si].want, pipe.Flush()...)
 
-			// Engine run, alternating models, chunked with uneven sizes.
-			model := "a"
+			// Engine run, alternating model references (pinned and
+			// floating), chunked with uneven sizes.
+			model := "a@v1"
 			if si%2 == 1 {
 				model = "b"
 			}
-			st, err := eng.Open(model, Config{}, func(beats []BeatResult) {
+			st, err := eng.Open(ctx, model, Config{}, func(beats []BeatResult) {
 				results[si].got = append(results[si].got, beats...)
 			})
 			if err != nil {
@@ -69,7 +81,7 @@ func TestEngineMatchesSequential(t *testing.T) {
 				if end > len(lead) {
 					end = len(lead)
 				}
-				if err := st.Send(lead[off:end]); err != nil {
+				if err := st.Send(ctx, lead[off:end]); err != nil {
 					t.Error(err)
 					return
 				}
@@ -97,28 +109,33 @@ func TestEngineMatchesSequential(t *testing.T) {
 }
 
 func TestEngineStreamLifecycle(t *testing.T) {
-	emb := testModel(t)
-	reg := NewRegistry()
-	if err := reg.Register("only", emb); err != nil {
-		t.Fatal(err)
-	}
-	eng := NewEngine(reg, EngineConfig{Workers: 2})
+	eng := NewEngine(testCatalog(t, "only"), EngineConfig{Workers: 2})
+	ctx := context.Background()
 
-	if _, err := eng.Open("missing", Config{}, nil); err == nil {
-		t.Fatal("expected an unknown-model error")
+	if _, err := eng.Open(ctx, "missing", Config{}, nil); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if _, err := eng.Open(ctx, "only@v9", Config{}, nil); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("unknown version: %v", err)
+	}
+	if _, err := eng.Open(ctx, "only@@", Config{}, nil); !apierr.IsCode(err, apierr.CodeBadInput) {
+		t.Fatalf("malformed reference: %v", err)
 	}
 
-	st, err := eng.Open("only", Config{}, nil)
+	st, err := eng.Open(ctx, "only", Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Send(make([]int32, 512)); err != nil {
+	if got := st.Entry().Manifest.Ref(); got != "only@v1" {
+		t.Fatalf("stream pinned %q", got)
+	}
+	if err := st.Send(ctx, make([]int32, 512)); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Send(make([]int32, 1)); err == nil {
+	if err := st.Send(ctx, make([]int32, 1)); err == nil {
 		t.Fatal("expected send-on-closed-stream to fail")
 	}
 	if err := st.Close(); err != nil {
@@ -126,50 +143,153 @@ func TestEngineStreamLifecycle(t *testing.T) {
 	}
 
 	eng.Close()
-	if err := st.Send(make([]int32, 1)); err == nil {
+	if err := st.Send(ctx, make([]int32, 1)); err == nil {
 		t.Fatal("expected send after engine shutdown to fail")
 	}
-	if _, err := eng.Open("only", Config{}, nil); err != nil {
+	if _, err := eng.Open(ctx, "only", Config{}, nil); err != nil {
 		// Open still works mechanically after Close; streams just cannot run.
 		t.Logf("open after close: %v", err)
 	}
 }
 
-func TestRegistry(t *testing.T) {
-	emb := testModel(t)
-	reg := NewRegistry()
-	if err := reg.Register("", emb); err == nil {
-		t.Fatal("expected empty-name rejection")
+// TestEngineContextCancellation: a canceled context fails Open and Send
+// with the typed canceled code before any work is queued.
+func TestEngineContextCancellation(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1})
+	defer eng.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Open(canceled, "m", Config{}, nil); !apierr.IsCode(err, apierr.CodeCanceled) {
+		t.Fatalf("Open with canceled ctx: %v", err)
 	}
-	if err := reg.Register("x", nil); err == nil {
-		t.Fatal("expected nil-model rejection")
-	}
-	if err := reg.Register("zeta", emb); err != nil {
+
+	st, err := eng.Open(context.Background(), "m", Config{}, nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.Register("alpha", emb); err != nil {
+	if err := st.Send(canceled, make([]int32, 8)); !apierr.IsCode(err, apierr.CodeCanceled) {
+		t.Fatalf("Send with canceled ctx: %v", err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	names := reg.Names()
-	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
-		t.Fatalf("Names() = %v", names)
-	}
-	if _, err := reg.Get("alpha"); err != nil {
+}
+
+// TestEngineStreamPinsDeletedModel: a stream opened before its model
+// version is deleted keeps classifying against it (snapshot semantics).
+func TestEngineStreamPinsDeletedModel(t *testing.T) {
+	m := testFloatModel(t)
+	cat := catalog.New()
+	if _, err := cat.Put("m", m, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Get("nope"); err == nil {
-		t.Fatal("expected unknown-model error")
+	// Second version with one projection element flipped: different bytes,
+	// same shape — v1 becomes deletable (not what the default resolves to).
+	m2 := *m
+	P2 := m.P.Clone()
+	if P2.El[0] == 0 {
+		P2.El[0] = 1
+	} else {
+		P2.El[0] = 0
+	}
+	m2.P = P2
+	if _, err := cat.Put("m", &m2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := NewEngine(cat, EngineConfig{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+
+	beats := 0
+	st, err := eng.Open(ctx, "m@v1", Config{}, func(res []BeatResult) { beats += len(res) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Delete("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Snapshot().Resolve("m@v1"); err == nil {
+		t.Fatal("v1 should be gone from the catalog")
+	}
+
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "pin", Seconds: 30, Seed: 3, PVCRate: 0.1}).Leads[0]
+	for off := 0; off < len(lead); off += 720 {
+		end := off + 720
+		if end > len(lead) {
+			end = len(lead)
+		}
+		if err := st.Send(ctx, lead[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if beats == 0 {
+		t.Fatal("pinned stream classified nothing after its model was deleted")
+	}
+	// New opens of the deleted version fail in the typed way.
+	if _, err := eng.Open(ctx, "m@v1", Config{}, nil); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("open of deleted version: %v", err)
+	}
+}
+
+// TestEngineOverload: with a tiny queue bound (in samples) and no workers
+// draining (the stream is held "running" by a stalled sink), Send reports
+// the typed overload error instead of queueing without bound.
+func TestEngineOverload(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1, MaxPending: 16})
+	defer eng.Close()
+	ctx := context.Background()
+
+	block := make(chan struct{})
+	release := make(chan struct{})
+	blocked := false
+	st, err := eng.Open(ctx, "m", Config{}, func([]BeatResult) {
+		if !blocked {
+			blocked = true
+			close(block)
+			<-release
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A couple of seconds of signal guarantees at least one finalized beat,
+	// which parks the only worker in the sink above.
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "ov", Seconds: 5, Seed: 6, PVCRate: 0.1}).Leads[0]
+	if err := st.Send(ctx, lead); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+
+	// The worker is parked; every chunk now stays in the FIFO.
+	var overloaded bool
+	for i := 0; i < 5; i++ {
+		err := st.Send(ctx, make([]int32, 8))
+		if apierr.IsCode(err, apierr.CodeStreamOverloaded) {
+			overloaded = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !overloaded {
+		t.Fatal("queue never reported overload")
+	}
+	close(release)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func BenchmarkEngineThroughput(b *testing.B) {
-	emb := testModel(b)
-	reg := NewRegistry()
-	if err := reg.Register("m", emb); err != nil {
-		b.Fatal(err)
-	}
-	eng := NewEngine(reg, EngineConfig{})
+	eng := NewEngine(testCatalog(b, "m"), EngineConfig{})
 	defer eng.Close()
+	ctx := context.Background()
 	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "bt", Seconds: 30, Seed: 4, PVCRate: 0.1})
 	lead := rec.Leads[0]
 
@@ -182,7 +302,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				st, err := eng.Open("m", Config{}, nil)
+				st, err := eng.Open(ctx, "m", Config{}, nil)
 				if err != nil {
 					b.Error(err)
 					return
@@ -192,7 +312,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 					if end > len(lead) {
 						end = len(lead)
 					}
-					if err := st.Send(lead[off:end]); err != nil {
+					if err := st.Send(ctx, lead[off:end]); err != nil {
 						b.Error(err)
 						return
 					}

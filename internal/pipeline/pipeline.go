@@ -23,6 +23,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -239,8 +240,8 @@ func (p *Pipeline) classify(pk int) {
 // Each call allocates its own working buffers. Request loops should hold a
 // BatchScratch (e.g. in a sync.Pool, as internal/serve does) and call
 // BatchClassifyInto instead.
-func BatchClassify(emb *core.Embedded, lead []int32, cfg Config) ([]BeatResult, error) {
-	beats, err := BatchClassifyInto(emb, lead, cfg, new(BatchScratch))
+func BatchClassify(ctx context.Context, emb *core.Embedded, lead []int32, cfg Config) ([]BeatResult, error) {
+	beats, err := BatchClassifyInto(ctx, emb, lead, cfg, new(BatchScratch))
 	if err != nil {
 		return nil, err
 	}
@@ -268,12 +269,21 @@ type BatchScratch struct {
 // front-end filter and detector still allocate internally, once per record).
 // The returned slice aliases s and is valid until the next call with the
 // same scratch; copy it to retain.
-func BatchClassifyInto(emb *core.Embedded, lead []int32, cfg Config, s *BatchScratch) ([]BeatResult, error) {
+//
+// The context is honored at the record granularity a request cares about:
+// checked on entry, after the front-end (filter + detector, the bulk of the
+// work) and every classifyCtxStride beats, so an abandoned request stops
+// burning the worker quickly without putting a check in the per-beat hot
+// loop. Cancellation returns ctx.Err() (typed by the serving layer).
+func BatchClassifyInto(ctx context.Context, emb *core.Embedded, lead []int32, cfg Config, s *BatchScratch) ([]BeatResult, error) {
 	if emb == nil {
 		return nil, errors.New("pipeline: nil classifier")
 	}
 	if s == nil {
 		return nil, errors.New("pipeline: nil scratch")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := emb.Validate(); err != nil {
 		return nil, err
@@ -290,6 +300,9 @@ func BatchClassifyInto(emb *core.Embedded, lead []int32, cfg Config, s *BatchScr
 	}
 	filtered := sigdsp.FilterECG(mv, c.Baseline)
 	peaks := peak.Detect(filtered, c.Peak)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	s.window = growInt32(s.window, c.Before+c.After)[:c.Before+c.After]
 	s.ds = growInt32(s.ds, emb.D)[:emb.D]
@@ -300,7 +313,12 @@ func BatchClassifyInto(emb *core.Embedded, lead []int32, cfg Config, s *BatchScr
 		s.grades = s.grades[:n]
 	}
 	s.beats = s.beats[:0]
-	for _, pk := range peaks {
+	for i, pk := range peaks {
+		if i%classifyCtxStride == classifyCtxStride-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		sigdsp.WindowIntInto(s.window, lead, pk, c.Before)
 		sigdsp.DownsampleIntInto(s.ds, s.window, emb.Downsample)
 		d := emb.ClassifyInto(s.ds, s.u, s.grades)
@@ -308,6 +326,10 @@ func BatchClassifyInto(emb *core.Embedded, lead []int32, cfg Config, s *BatchScr
 	}
 	return s.beats, nil
 }
+
+// classifyCtxStride is how many beats the batch loop classifies between
+// context checks (~64 beats ≈ one minute of signal per check).
+const classifyCtxStride = 64
 
 func growFloat(buf []float64, n int) []float64 {
 	if cap(buf) < n {

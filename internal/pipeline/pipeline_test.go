@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -11,14 +12,23 @@ import (
 )
 
 var (
-	modelOnce sync.Once
-	modelEmb  *core.Embedded
-	modelErr  error
+	modelOnce  sync.Once
+	modelFloat *core.Model
+	modelEmb   *core.Embedded
+	modelErr   error
 )
 
 // testModel trains one small model per test binary (the same reduced-scale
 // configuration the repository's integration tests use).
 func testModel(t testing.TB) *core.Embedded {
+	t.Helper()
+	testFloatModel(t)
+	return modelEmb
+}
+
+// testFloatModel is the float form of the same model — what catalog.Put
+// consumes in the engine tests.
+func testFloatModel(t testing.TB) *core.Model {
 	t.Helper()
 	modelOnce.Do(func() {
 		ds, err := beatset.Build(beatset.Config{Seed: 31, Scale: 0.03})
@@ -34,12 +44,13 @@ func testModel(t testing.TB) *core.Embedded {
 			modelErr = err
 			return
 		}
+		modelFloat = m
 		modelEmb, modelErr = m.Quantize(fixp.MFLinear)
 	})
 	if modelErr != nil {
 		t.Fatal(modelErr)
 	}
-	return modelEmb
+	return modelFloat
 }
 
 func TestPipelineMatchesBatch(t *testing.T) {
@@ -51,7 +62,7 @@ func TestPipelineMatchesBatch(t *testing.T) {
 		rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "p", Seconds: 120, Seed: tc.seed, PVCRate: tc.pvc})
 		lead := rec.Leads[0]
 
-		batch, err := BatchClassify(emb, lead, Config{})
+		batch, err := BatchClassify(context.Background(), emb, lead, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +142,7 @@ func TestPipelineRejectsMismatchedGeometry(t *testing.T) {
 	if _, err := New(emb, Config{Before: 50, After: 50}); err == nil {
 		t.Fatal("expected a window/model dimension mismatch error")
 	}
-	if _, err := BatchClassify(emb, make([]int32, 100), Config{Before: 50, After: 50}); err == nil {
+	if _, err := BatchClassify(context.Background(), emb, make([]int32, 100), Config{Before: 50, After: 50}); err == nil {
 		t.Fatal("expected a window/model dimension mismatch error")
 	}
 	if _, err := New(nil, Config{}); err == nil {
@@ -176,7 +187,7 @@ func BenchmarkBatchClassify60s(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BatchClassify(emb, rec.Leads[0], Config{}); err != nil {
+		if _, err := BatchClassify(context.Background(), emb, rec.Leads[0], Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}

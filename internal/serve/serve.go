@@ -9,16 +9,38 @@
 //     answers with one NDJSON line per finalized beat, flushed as soon as
 //     the streaming pipeline emits it, and a final {"done":true} summary.
 //
-// Plus GET /v1/models (registry inventory) and GET /healthz.
+// Both select a model with a catalog reference — "name" (latest version) or
+// "name@vN" (pinned) — and fall back to the catalog default.
+//
+// The admin surface manages the model catalog while streams are in flight:
+//
+//   - GET    /v1/models        inventory (every version, manifests, default)
+//   - POST   /v1/models?name=n upload a model (JSON or binary codec form,
+//     sniffed); the catalog recomputes the manifest and assigns the next
+//     version
+//   - GET    /v1/models/{ref}  manifest detail of one resolved version
+//   - DELETE /v1/models/{ref}  retire one explicit version (ref must be
+//     name@vN)
+//   - PUT    /v1/default       {"model":"ref"} repoints the default
+//
+// Plus GET /healthz. Every failure, on every route, is rendered as the
+// uniform typed body {"error":{"code":"...","message":"..."}} with the
+// status internal/apierr assigns to the code; request contexts are plumbed
+// into the engine, so an abandoned request stops consuming workers.
 package serve
 
 import (
 	"bufio"
 	"encoding/json"
-	"fmt"
+	"errors"
+	"io"
 	"net/http"
 	"sync"
+	"time"
 
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/catalog"
+	"rpbeat/internal/core"
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/pipeline"
 )
@@ -30,14 +52,52 @@ const maxClassifyBytes = 64 << 20
 // maxStreamLineBytes bounds one NDJSON chunk line on /v1/stream.
 const maxStreamLineBytes = 8 << 20
 
+// HandlerConfig tunes the handler; the zero value is the serving default.
+type HandlerConfig struct {
+	// MaxUploadBytes bounds a POST /v1/models body; default
+	// core.MaxModelBytes (the codec's own ceiling).
+	MaxUploadBytes int64
+}
+
 type server struct {
-	eng          *pipeline.Engine
-	defaultModel string
+	eng       *pipeline.Engine
+	maxUpload int64
 	// scratch pools the per-request working buffers of /v1/classify: the
 	// millivolt conversion, per-beat classification scratch and response
 	// beat slices are reused across requests instead of allocated per call,
 	// so a steady request rate holds a steady working set.
 	scratch sync.Pool
+}
+
+// NewHandler builds the HTTP handler serving the engine's model catalog:
+// the data endpoints (POST /v1/classify, POST /v1/stream), the admin
+// endpoints (GET|POST /v1/models, GET|DELETE /v1/models/{ref},
+// PUT /v1/default) and GET /healthz.
+func NewHandler(eng *pipeline.Engine, cfg HandlerConfig) http.Handler {
+	s := &server{eng: eng, maxUpload: cfg.MaxUploadBytes}
+	if s.maxUpload <= 0 {
+		s.maxUpload = core.MaxModelBytes
+	}
+	s.scratch.New = func() any { return new(classifyScratch) }
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /v1/models", s.listModels)
+	mux.HandleFunc("POST /v1/models", s.uploadModel)
+	mux.HandleFunc("GET /v1/models/{ref}", s.modelDetail)
+	mux.HandleFunc("DELETE /v1/models/{ref}", s.deleteModel)
+	mux.HandleFunc("PUT /v1/default", s.setDefault)
+	mux.HandleFunc("POST /v1/classify", s.classify)
+	mux.HandleFunc("POST /v1/stream", s.stream)
+	// Method fallbacks: a known path with the wrong verb answers with the
+	// typed method_not_allowed body instead of the mux's plain-text 405
+	// (method-qualified patterns above are more specific and win).
+	for _, path := range []string{
+		"/healthz", "/v1/models", "/v1/models/{ref}", "/v1/default", "/v1/classify", "/v1/stream",
+	} {
+		mux.HandleFunc(path, s.methodNotAllowed)
+	}
+	mux.HandleFunc("/", s.notFound)
+	return mux
 }
 
 // classifyScratch is one request's reusable buffer set.
@@ -46,56 +106,178 @@ type classifyScratch struct {
 	beats []Beat
 }
 
-// NewHandler builds the HTTP handler serving the engine's models:
-// POST /v1/classify and /v1/stream, GET /v1/models and /healthz.
-// defaultModel names the registry entry used when a request does not pick
-// one.
-func NewHandler(eng *pipeline.Engine, defaultModel string) http.Handler {
-	s := &server{eng: eng, defaultModel: defaultModel}
-	s.scratch.New = func() any { return new(classifyScratch) }
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("GET /v1/models", s.models)
-	mux.HandleFunc("POST /v1/classify", s.classify)
-	mux.HandleFunc("POST /v1/stream", s.stream)
-	return mux
+// ErrorResponse is the uniform JSON error body of every endpoint.
+type ErrorResponse struct {
+	Error apierr.Error `json:"error"`
+}
+
+// writeErr renders any error as the typed JSON body, coercing untyped ones
+// through apierr.From.
+func writeErr(w http.ResponseWriter, err error) {
+	ae := apierr.From(err)
+	writeJSON(w, ae.HTTPStatus(), ErrorResponse{Error: *ae})
+}
+
+func (s *server) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, apierr.New(apierr.CodeMethodNotAllowed, "%s not allowed on %s", r.Method, r.URL.Path))
+}
+
+func (s *server) notFound(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, apierr.New(apierr.CodeNotFound, "no route %s", r.URL.Path))
 }
 
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
-// ModelInfo is one entry of the GET /v1/models inventory.
+// snapshot is the per-request catalog view: one atomic load, consistent for
+// the request's whole lifetime.
+func (s *server) snapshot() *catalog.Snapshot { return s.eng.Catalog().Snapshot() }
+
+// ModelInfo is one model version of the GET /v1/models inventory: its
+// manifest plus the serving-side footprints.
 type ModelInfo struct {
-	Name        string `json:"name"`
-	Coeffs      int    `json:"k"`
-	Dim         int    `json:"d"`
-	Downsample  int    `json:"downsample"`
-	MemoryBytes int    `json:"memoryBytes"`
-	Default     bool   `json:"default,omitempty"`
+	catalog.Manifest
+	MemoryBytes int  `json:"memoryBytes"` // node tables (what would be flashed)
+	HostBytes   int  `json:"hostBytes"`   // node tables + host-side sparse kernel
+	Latest      bool `json:"latest,omitempty"`
+	Default     bool `json:"default,omitempty"` // what "" resolves to right now
 }
 
-func (s *server) models(w http.ResponseWriter, r *http.Request) {
-	reg := s.eng.Registry()
-	out := make([]ModelInfo, 0)
-	for _, name := range reg.Names() {
-		emb, err := reg.Get(name)
-		if err != nil {
-			continue
+// ModelsResponse is the GET /v1/models reply.
+type ModelsResponse struct {
+	Default string      `json:"default,omitempty"` // the default reference as configured
+	Models  []ModelInfo `json:"models"`
+}
+
+// modelInfo renders one entry; def is what the default reference resolves
+// to right now (nil when unset) and latest the newest entry of e's name —
+// resolved once by the caller, not per entry.
+func modelInfo(e, def, latest *catalog.Entry) ModelInfo {
+	return ModelInfo{
+		Manifest:    e.Manifest,
+		MemoryBytes: e.Emb.MemoryBytes(),
+		HostBytes:   e.Emb.HostBytes(),
+		Latest:      e == latest,
+		Default:     e == def,
+	}
+}
+
+func (s *server) listModels(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	def, _ := snap.Resolve("") // nil default is fine: no entry is flagged
+	out := ModelsResponse{Default: snap.Default(), Models: make([]ModelInfo, 0, snap.Len())}
+	for _, name := range snap.Names() {
+		versions := snap.Versions(name)
+		latest := versions[len(versions)-1]
+		for _, e := range versions {
+			out.Models = append(out.Models, modelInfo(e, def, latest))
 		}
-		out = append(out, ModelInfo{
-			Name: name, Coeffs: emb.K, Dim: emb.D, Downsample: emb.Downsample,
-			MemoryBytes: emb.MemoryBytes(), Default: name == s.defaultModel,
-		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+func (s *server) uploadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, apierr.New(apierr.CodeBadInput, "missing ?name= (the model name to version under)"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxUpload))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, apierr.New(apierr.CodePayloadTooLarge,
+				"model upload exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	m, err := core.Decode(data)
+	if err != nil {
+		writeErr(w, apierr.New(apierr.CodeBadInput, "%v", err))
+		return
+	}
+	man, err := s.eng.Catalog().Put(name, m, nil)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, man)
+}
+
+// ModelDetail is the GET /v1/models/{ref} reply: the resolved version's
+// info plus its name's full version list.
+type ModelDetail struct {
+	ModelInfo
+	Versions []int `json:"versions"` // every live version of the name, ascending
+}
+
+func (s *server) modelDetail(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	e, err := snap.Resolve(r.PathValue("ref"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	def, _ := snap.Resolve("")
+	versions := snap.Versions(e.Manifest.Name)
+	detail := ModelDetail{ModelInfo: modelInfo(e, def, versions[len(versions)-1])}
+	for _, v := range versions {
+		detail.Versions = append(detail.Versions, v.Manifest.Version)
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// DeleteResponse is the DELETE /v1/models/{ref} reply.
+type DeleteResponse struct {
+	Deleted string `json:"deleted"` // the retired name@vN
+}
+
+func (s *server) deleteModel(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("ref")
+	name, version, err := catalog.ParseRef(ref)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if version == 0 {
+		writeErr(w, apierr.New(apierr.CodeBadInput,
+			"delete requires an explicit version (%s@vN), not a floating name", name))
+		return
+	}
+	man, err := s.eng.Catalog().Delete(name, version)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: man.Ref()})
+}
+
+// DefaultRequest is the PUT /v1/default body.
+type DefaultRequest struct {
+	Model string `json:"model"` // "name" floats with uploads, "name@vN" pins
+}
+
+func (s *server) setDefault(w http.ResponseWriter, r *http.Request) {
+	var req DefaultRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		writeErr(w, apierr.New(apierr.CodeBadInput, "bad request body: %v", err))
+		return
+	}
+	if err := s.eng.Catalog().SetDefault(req.Model); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"default": req.Model})
+}
+
 // ClassifyRequest is the POST /v1/classify body: one lead of raw ADC
-// samples, classified as a whole record against the named model (the
-// registry default when Model is empty).
+// samples, classified as a whole record against the referenced model (the
+// catalog default when Model is empty).
 type ClassifyRequest struct {
-	Model   string  `json:"model,omitempty"`
+	Model   string  `json:"model,omitempty"` // catalog reference: name or name@vN
 	Samples []int32 `json:"samples"`
 }
 
@@ -107,9 +289,10 @@ type Beat struct {
 }
 
 // ClassifyResponse is the POST /v1/classify reply: every detected beat with
-// its class, plus per-class counts.
+// its class, plus per-class counts. Model is the fully resolved version the
+// record was classified against.
 type ClassifyResponse struct {
-	Model  string         `json:"model"`
+	Model  string         `json:"model"` // resolved name@vN
 	Total  int            `json:"total"`
 	Counts map[string]int `json:"counts"`
 	Beats  []Beat         `json:"beats"`
@@ -119,27 +302,28 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	var req ClassifyRequest
 	body := http.MaxBytesReader(w, r.Body, maxClassifyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, apierr.New(apierr.CodePayloadTooLarge, "request exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeErr(w, apierr.New(apierr.CodeBadInput, "bad request body: %v", err))
 		return
 	}
 	if len(req.Samples) == 0 {
-		httpError(w, http.StatusBadRequest, "no samples")
+		writeErr(w, apierr.New(apierr.CodeBadInput, "no samples"))
 		return
 	}
-	name := req.Model
-	if name == "" {
-		name = s.defaultModel
-	}
-	emb, err := s.eng.Registry().Get(name)
+	entry, err := s.snapshot().Resolve(req.Model)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	sc := s.scratch.Get().(*classifyScratch)
 	defer s.scratch.Put(sc)
-	beats, err := pipeline.BatchClassifyInto(emb, req.Samples, pipeline.Config{}, &sc.batch)
+	beats, err := pipeline.BatchClassifyInto(r.Context(), entry.Emb, req.Samples, pipeline.Config{}, &sc.batch)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	if sc.beats == nil {
@@ -151,7 +335,10 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	}
 	// The response is encoded before the deferred Put, so the pooled beat
 	// slice is never aliased by a live request.
-	resp := ClassifyResponse{Model: name, Total: len(beats), Counts: countDecisions(beats), Beats: sc.beats}
+	resp := ClassifyResponse{
+		Model: entry.Manifest.Ref(), Total: len(beats),
+		Counts: countDecisions(beats), Beats: sc.beats,
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -170,55 +357,106 @@ type StreamBeat struct {
 }
 
 // StreamDone is the final NDJSON response line of POST /v1/stream,
-// summarizing the whole stream after the pipeline drained.
+// summarizing the whole stream after the pipeline drained. Model is the
+// resolved version the stream was pinned to at open.
 type StreamDone struct {
-	Done    bool `json:"done"`
-	Beats   int  `json:"beats"`
-	Samples int  `json:"samples"`
+	Done    bool   `json:"done"`
+	Model   string `json:"model"`
+	Beats   int    `json:"beats"`
+	Samples int    `json:"samples"`
 }
 
 // stream is the chunked NDJSON path: each request is one patient stream,
 // classified online by the engine's worker pool while the request body is
-// still being read.
+// still being read. The stream is opened against the catalog snapshot at
+// request start and keeps its model version for the whole request, however
+// the catalog changes meanwhile.
 func (s *server) stream(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("model")
-	if name == "" {
-		name = s.defaultModel
-	}
-	if _, err := s.eng.Registry().Get(name); err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-
 	// Beat lines go out while the request body is still uploading; without
 	// full duplex the HTTP/1 server discards the rest of the body on the
 	// first response write.
 	rc := http.NewResponseController(w)
 	if err := rc.EnableFullDuplex(); err != nil && r.ProtoMajor == 1 {
-		httpError(w, http.StatusInternalServerError, "full-duplex streaming unsupported: %v", err)
+		writeErr(w, apierr.New(apierr.CodeInternal, "full-duplex streaming unsupported: %v", err))
 		return
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	var wmu sync.Mutex
+	// wmu guards the response writer, the lazily-written header and the
+	// stopped gate. stopped cuts the sink off once the handler is done with
+	// the stream: on a clean Close the engine has already drained every
+	// beat, but when Close fails during engine shutdown, queued chunks may
+	// still reach the sink after this handler returned — checking the gate
+	// under the same lock that covers the writes makes "no sink writes
+	// outlive the handler" airtight, not just likely.
+	var (
+		wmu           sync.Mutex
+		headerWritten bool
+		stopped       bool
+	)
 	enc := json.NewEncoder(w)
+	// ensureHeaderLocked makes the first body write carry the NDJSON
+	// content type. Callers hold wmu.
+	ensureHeaderLocked := func() {
+		if !headerWritten {
+			headerWritten = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+	}
 	writeLine := func(v any) {
 		wmu.Lock()
 		defer wmu.Unlock()
+		ensureHeaderLocked()
 		enc.Encode(v)
 		rc.Flush()
 	}
+	// streamErr renders a typed error: as a plain status+body when nothing
+	// has been streamed yet, as a trailing NDJSON error line otherwise.
+	// All under wmu, so it never interleaves with a sink's beat line.
+	streamErr := func(err error) {
+		ae := apierr.From(err)
+		wmu.Lock()
+		defer wmu.Unlock()
+		if !headerWritten {
+			headerWritten = true
+			writeJSON(w, ae.HTTPStatus(), ErrorResponse{Error: *ae})
+			rc.Flush()
+			return
+		}
+		enc.Encode(ErrorResponse{Error: *ae})
+		rc.Flush()
+	}
+	markStopped := func() {
+		wmu.Lock()
+		stopped = true
+		wmu.Unlock()
+	}
 
 	beats := 0
-	st, err := s.eng.Open(name, pipeline.Config{}, func(res []pipeline.BeatResult) {
-		for _, b := range res {
-			writeLine(StreamBeat{Sample: b.Peak, Class: b.Decision.String(), DetectedAt: b.DetectedAt})
-		}
-		beats += len(res) // sink calls are serialized per stream
-	})
+	st, err := s.eng.Open(r.Context(), r.URL.Query().Get("model"), pipeline.Config{},
+		func(res []pipeline.BeatResult) {
+			wmu.Lock()
+			defer wmu.Unlock()
+			if stopped {
+				return
+			}
+			ensureHeaderLocked()
+			for _, b := range res {
+				enc.Encode(StreamBeat{Sample: b.Peak, Class: b.Decision.String(), DetectedAt: b.DetectedAt})
+			}
+			rc.Flush()
+			beats += len(res) // sink calls are serialized per stream
+		})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		writeErr(w, err)
 		return
+	}
+	model := st.Entry().Manifest.Ref()
+	// abort tears the stream down on an error path: no sink writes may
+	// outlive this handler.
+	abort := func(err error) {
+		st.Close()
+		markStopped()
+		streamErr(err)
 	}
 
 	samples := 0
@@ -231,30 +469,70 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 		}
 		var chunk StreamChunk
 		if err := json.Unmarshal(line, &chunk); err != nil {
-			st.Close()
-			writeLine(map[string]string{"error": fmt.Sprintf("bad chunk: %v", err)})
+			abort(apierr.New(apierr.CodeBadInput, "bad chunk: %v", err))
 			return
 		}
 		samples += len(chunk.Samples)
-		if err := st.Send(chunk.Samples); err != nil {
-			st.Close() // no sink writes may outlive this handler
-			writeLine(map[string]string{"error": err.Error()})
+		if err := s.sendWithBackpressure(r, st, chunk.Samples); err != nil {
+			abort(err)
 			return
 		}
 	}
 	if err := sc.Err(); err != nil {
-		st.Close()
-		writeLine(map[string]string{"error": err.Error()})
+		if errors.Is(err, bufio.ErrTooLong) {
+			err = apierr.New(apierr.CodePayloadTooLarge,
+				"stream line exceeds %d bytes", maxStreamLineBytes)
+		}
+		abort(err)
 		return
 	}
 	// Close drains the pipeline; every remaining beat hits the sink before
 	// it returns, so the summary line is genuinely last.
 	if err := st.Close(); err != nil {
-		writeLine(map[string]string{"error": err.Error()})
+		markStopped()
+		streamErr(err)
 		return
 	}
-	writeLine(StreamDone{Done: true, Beats: beats, Samples: samples})
+	markStopped()
+	writeLine(StreamDone{Done: true, Model: model, Beats: beats, Samples: samples})
 }
+
+// sendWithBackpressure forwards one chunk to the stream, converting the
+// engine's typed stream_overloaded into what HTTP already has for this:
+// backpressure. While the per-stream queue is full the handler simply stops
+// reading the request body (retrying the send), which stalls the client's
+// upload through TCP until the worker pool catches up. Only a queue that
+// stays full for a whole overloadPatience — a wedged pool, not a burst —
+// surfaces the typed error to the client.
+func (s *server) sendWithBackpressure(r *http.Request, st *pipeline.Stream, samples []int32) error {
+	err := st.Send(r.Context(), samples)
+	if !apierr.IsCode(err, apierr.CodeStreamOverloaded) {
+		return err
+	}
+	deadline := time.Now().Add(overloadPatience)
+	for {
+		select {
+		case <-r.Context().Done():
+			return r.Context().Err()
+		case <-time.After(overloadRetryDelay):
+		}
+		if err := st.Send(r.Context(), samples); !apierr.IsCode(err, apierr.CodeStreamOverloaded) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return apierr.New(apierr.CodeStreamOverloaded,
+				"stream queue stayed full for %v; worker pool cannot keep up", overloadPatience)
+		}
+	}
+}
+
+const (
+	// overloadPatience is how long /v1/stream blocks the request body on a
+	// full stream queue before giving up with the typed overload error.
+	overloadPatience = 30 * time.Second
+	// overloadRetryDelay paces the send retries while backpressuring.
+	overloadRetryDelay = 10 * time.Millisecond
+)
 
 func countDecisions(beats []pipeline.BeatResult) map[string]int {
 	counts := map[string]int{
@@ -271,8 +549,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

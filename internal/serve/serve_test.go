@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,7 +12,9 @@ import (
 	"sync"
 	"testing"
 
+	"rpbeat/internal/apierr"
 	"rpbeat/internal/beatset"
+	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/fixp"
@@ -19,14 +22,18 @@ import (
 )
 
 var (
-	embOnce sync.Once
-	embVal  *core.Embedded
-	embErr  error
+	modelOnce sync.Once
+	modelVal  *core.Model
+	embVal    *core.Embedded
+	embErr    error
 )
 
-func testEmbedded(t *testing.T) *core.Embedded {
+// testTrainedModel trains one reduced-scale model per test binary and
+// returns its float form (what uploads carry) and quantized form (the
+// classification reference).
+func testTrainedModel(t *testing.T) (*core.Model, *core.Embedded) {
 	t.Helper()
-	embOnce.Do(func() {
+	modelOnce.Do(func() {
 		ds, err := beatset.Build(beatset.Config{Seed: 31, Scale: 0.03})
 		if err != nil {
 			embErr = err
@@ -40,32 +47,62 @@ func testEmbedded(t *testing.T) *core.Embedded {
 			embErr = err
 			return
 		}
+		modelVal = m
 		embVal, embErr = m.Quantize(fixp.MFLinear)
 	})
 	if embErr != nil {
 		t.Fatal(embErr)
 	}
-	return embVal
+	return modelVal, embVal
 }
 
-func testServer(t *testing.T) (*httptest.Server, *core.Embedded) {
+// testServer boots a handler over a catalog holding the trained model as
+// default@v1.
+func testServer(t *testing.T) (*httptest.Server, *pipeline.Engine, *core.Embedded) {
 	t.Helper()
-	emb := testEmbedded(t)
-	reg := pipeline.NewRegistry()
-	if err := reg.Register("default", emb); err != nil {
+	m, emb := testTrainedModel(t)
+	cat := catalog.New()
+	if _, err := cat.Put("default", m, nil); err != nil {
 		t.Fatal(err)
 	}
-	eng := pipeline.NewEngine(reg, pipeline.EngineConfig{Workers: 2})
-	ts := httptest.NewServer(NewHandler(eng, "default"))
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: 2})
+	ts := httptest.NewServer(NewHandler(eng, HandlerConfig{}))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
 	})
-	return ts, emb
+	return ts, eng, emb
+}
+
+// wantAPIError asserts a response carries the typed JSON error contract:
+// the expected HTTP status and machine-readable code.
+func wantAPIError(t *testing.T, resp *http.Response, status int, code apierr.Code) {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != status {
+		t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, status, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q, want application/json", ct)
+	}
+	var body ErrorResponse
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("error body is not the typed contract: %s", raw)
+	}
+	if body.Error.Code != code {
+		t.Fatalf("error code = %q, want %q (message %q)", body.Error.Code, code, body.Error.Message)
+	}
+	if body.Error.Message == "" {
+		t.Fatal("error message empty")
+	}
 }
 
 func TestHealthAndModels(t *testing.T) {
-	ts, emb := testServer(t)
+	ts, _, emb := testServer(t)
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -80,21 +117,28 @@ func TestHealthAndModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var models []ModelInfo
+	var models ModelsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(models) != 1 || models[0].Name != "default" || !models[0].Default {
+	if models.Default != "default" || len(models.Models) != 1 {
 		t.Fatalf("models = %+v", models)
 	}
-	if models[0].Coeffs != emb.K || models[0].MemoryBytes != emb.MemoryBytes() {
-		t.Fatalf("model info mismatch: %+v", models[0])
+	mi := models.Models[0]
+	if mi.Name != "default" || mi.Version != 1 || !mi.Default || !mi.Latest {
+		t.Fatalf("model info = %+v", mi)
+	}
+	if mi.K != emb.K || mi.MemoryBytes != emb.MemoryBytes() || mi.HostBytes != emb.HostBytes() {
+		t.Fatalf("model info mismatch: %+v", mi)
+	}
+	if mi.Digest == "" || mi.SizeBytes == 0 || mi.CreatedAt.IsZero() {
+		t.Fatalf("manifest fields missing: %+v", mi)
 	}
 }
 
 func TestClassifyMatchesBatchPath(t *testing.T) {
-	ts, emb := testServer(t)
+	ts, _, emb := testServer(t)
 	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "s", Seconds: 60, Seed: 8, PVCRate: 0.15})
 
 	body, _ := json.Marshal(ClassifyRequest{Samples: rec.Leads[0]})
@@ -111,8 +155,11 @@ func TestClassifyMatchesBatchPath(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
+	if got.Model != "default@v1" {
+		t.Fatalf("response model = %q, want the resolved default@v1", got.Model)
+	}
 
-	want, err := pipeline.BatchClassify(emb, rec.Leads[0], pipeline.Config{})
+	want, err := pipeline.BatchClassify(context.Background(), emb, rec.Leads[0], pipeline.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,28 +178,171 @@ func TestClassifyMatchesBatchPath(t *testing.T) {
 }
 
 func TestClassifyErrors(t *testing.T) {
-	ts, _ := testServer(t)
+	ts, _, _ := testServer(t)
+
 	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(`{"samples":[]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("empty samples: %d", resp.StatusCode)
-	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
 	resp, err = http.Post(ts.URL+"/v1/classify", "application/json",
 		strings.NewReader(`{"model":"nope","samples":[1,2,3]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown model: %d", resp.StatusCode)
+	wantAPIError(t, resp, http.StatusNotFound, apierr.CodeModelNotFound)
+
+	// Malformed model reference: syntax error, not a lookup miss.
+	resp, err = http.Post(ts.URL+"/v1/classify", "application/json",
+		strings.NewReader(`{"model":"default@vX","samples":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
 	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
+	resp, err = http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader(`{not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+}
+
+func TestWrongMethodAndUnknownRoute(t *testing.T) {
+	ts, _, _ := testServer(t)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodDelete, "/healthz"},
+		{http.MethodGet, "/v1/classify"},
+		{http.MethodGet, "/v1/stream"},
+		{http.MethodPut, "/v1/models"},
+		{http.MethodPost, "/v1/models/default@v1"},
+		{http.MethodPost, "/v1/default"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAPIError(t, resp, http.StatusMethodNotAllowed, apierr.CodeMethodNotAllowed)
+	}
+
+	resp, err := http.Get(ts.URL + "/v2/everything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusNotFound, apierr.CodeNotFound)
+}
+
+func TestAdminErrors(t *testing.T) {
+	ts, _, _ := testServer(t)
+
+	// Upload without a name.
+	resp, err := http.Post(ts.URL+"/v1/models", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
+	// Upload that is neither a binary nor a JSON model.
+	resp, err = http.Post(ts.URL+"/v1/models?name=junk", "application/octet-stream",
+		strings.NewReader("definitely not a model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
+	// Upload under a malformed name.
+	resp, err = http.Post(ts.URL+"/v1/models?name=bad@name", "application/octet-stream",
+		strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
+	// Manifest detail of an unknown model / malformed reference.
+	resp, err = http.Get(ts.URL + "/v1/models/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusNotFound, apierr.CodeModelNotFound)
+	resp, err = http.Get(ts.URL + "/v1/models/default@v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
+	// Delete requires an explicit version; floating and malformed refs fail.
+	for ref, want := range map[string]struct {
+		status int
+		code   apierr.Code
+	}{
+		"default":    {http.StatusBadRequest, apierr.CodeBadInput},
+		"default@v9": {http.StatusNotFound, apierr.CodeModelNotFound},
+		"default@v1": {http.StatusBadRequest, apierr.CodeBadInput}, // the default's only version
+		"@v1":        {http.StatusBadRequest, apierr.CodeBadInput},
+	} {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/"+ref, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAPIError(t, resp, want.status, want.code)
+	}
+
+	// Default must resolve; body must parse.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/default", strings.NewReader(`{"model":"ghost"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusNotFound, apierr.CodeModelNotFound)
+
+	req, err = http.NewRequest(http.MethodPut, ts.URL+"/v1/default", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+}
+
+func TestUploadTooLarge(t *testing.T) {
+	m, _ := testTrainedModel(t)
+	cat := catalog.New()
+	if _, err := cat.Put("default", m, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: 1})
+	ts := httptest.NewServer(NewHandler(eng, HandlerConfig{MaxUploadBytes: 1024}))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	resp, err := http.Post(ts.URL+"/v1/models?name=big", "application/octet-stream",
+		bytes.NewReader(make([]byte, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusRequestEntityTooLarge, apierr.CodePayloadTooLarge)
 }
 
 func TestStreamMatchesSequentialPipeline(t *testing.T) {
-	ts, emb := testServer(t)
+	ts, _, emb := testServer(t)
 	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "st", Seconds: 60, Seed: 9, PVCRate: 0.1})
 	lead := rec.Leads[0]
 
@@ -215,6 +405,9 @@ func TestStreamMatchesSequentialPipeline(t *testing.T) {
 	if !done.Done || done.Samples != len(lead) || done.Beats != len(got) {
 		t.Fatalf("summary %+v (got %d beats, sent %d samples)", done, len(got), len(lead))
 	}
+	if done.Model != "default@v1" {
+		t.Fatalf("summary model = %q, want the pinned default@v1", done.Model)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("stream endpoint emitted %d beats, sequential pipeline %d", len(got), len(want))
 	}
@@ -230,26 +423,27 @@ func TestStreamMatchesSequentialPipeline(t *testing.T) {
 }
 
 func TestStreamUnknownModel(t *testing.T) {
-	ts, _ := testServer(t)
+	ts, _, _ := testServer(t)
 	resp, err := http.Post(ts.URL+"/v1/stream?model=nope", "application/x-ndjson", strings.NewReader(""))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown model: %d", resp.StatusCode)
+	wantAPIError(t, resp, http.StatusNotFound, apierr.CodeModelNotFound)
+
+	resp, err = http.Post(ts.URL+"/v1/stream?model=bad@@ref", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
 	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
 }
 
 func TestStreamBadChunk(t *testing.T) {
-	ts, _ := testServer(t)
+	ts, _, _ := testServer(t)
 	resp, err := http.Post(ts.URL+"/v1/stream", "application/x-ndjson", strings.NewReader("{not json}\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if !bytes.Contains(raw, []byte(`"error"`)) {
-		t.Fatalf("expected an error line, got: %s", raw)
-	}
+	// Nothing was streamed before the bad chunk, so the error arrives as a
+	// plain typed response, status and all.
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
 }
