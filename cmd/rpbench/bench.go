@@ -14,9 +14,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/fixp"
@@ -39,6 +43,7 @@ type benchFile struct {
 	NumCPU    int             `json:"num_cpu"`
 	Results   []benchResult   `json:"benchmarks"`
 	Pipeline  pipelineMetrics `json:"pipeline"`
+	Engine    engineBench     `json:"engine"`
 	Matrix    matrixBytes     `json:"matrix_bytes"`
 }
 
@@ -62,6 +67,39 @@ type pipelineMetrics struct {
 	AllocsPerPush   int64   `json:"allocs_per_push"`
 }
 
+// engineBench is the multi-stream serving experiment family: how the
+// pipeline.Engine scheduler behaves when many concurrent patient streams
+// share a worker pool (the question BENCH snapshots could not answer while
+// only single-pipeline numbers existed).
+type engineBench struct {
+	// SendAllocsPerOp is the steady-state allocation count of one
+	// Stream.Send admitted, copied into a pooled chunk and drained by a
+	// worker. Must stay 0 (tested invariant, TestEngineSendZeroAlloc).
+	SendAllocsPerOp int64 `json:"send_allocs_per_op"`
+	// Sweep is the worker-scaling experiment: aggregate throughput and
+	// chunk latency at increasing pool sizes. Scaling across rows is only
+	// meaningful when num_cpu provides the cores; on a single-core host the
+	// rows document (the absence of) contention overhead instead.
+	Sweep []engineMetrics `json:"sweep"`
+}
+
+// engineMetrics is one engine sweep row: N concurrent streams over M
+// workers.
+type engineMetrics struct {
+	Workers int `json:"workers"`
+	Streams int `json:"streams"`
+	// SamplesPerSec is the aggregate drain rate across all streams.
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// RealtimeStreams is SamplesPerSec / 360: how many concurrent real-time
+	// patient streams this worker count sustains.
+	RealtimeStreams float64 `json:"realtime_streams"`
+	// ChunkP50Ns / ChunkP99Ns are service-latency percentiles of a 360-sample
+	// (one second) probe chunk — Send to fully drained — while the other
+	// streams keep the pool saturated.
+	ChunkP50Ns float64 `json:"chunk_p50_ns"`
+	ChunkP99Ns float64 `json:"chunk_p99_ns"`
+}
+
 // matrixBytes records the storage cost of the paper-configuration (8×50)
 // projection matrix in each representation (DESIGN.md, "kernel memory
 // layouts").
@@ -74,22 +112,26 @@ type matrixBytes struct {
 	NonZeros int `json:"non_zeros"`
 }
 
-// benchEmbedded fabricates a structurally valid quantized classifier without
-// running the GA: kernel timing is data-independent (the integer pipeline is
-// branch-free except defuzzification), so a random matrix and plausible MF
-// parameters measure the same code the trained model runs.
-func benchEmbedded(r *rng.Rand, k, d, downsample int) (*core.Embedded, error) {
+// benchModel fabricates a structurally valid model without running the GA:
+// kernel timing is data-independent (the integer pipeline is branch-free
+// except defuzzification), so a random matrix and plausible MF parameters
+// measure the same code a trained model runs.
+func benchModel(r *rng.Rand, k, d, downsample int) *core.Model {
 	mf := nfc.NewParams(k)
 	for i := range mf.C {
 		mf.C[i] = float64(r.Intn(4000) - 2000)
 		mf.Sigma[i] = 200 + float64(r.Intn(800))
 	}
-	m := &core.Model{
+	return &core.Model{
 		K: k, D: d, Downsample: downsample,
 		P:  rp.NewRandom(r, k, d),
 		MF: mf, AlphaTrain: 0.1, MinARR: 0.97,
 	}
-	return m.Quantize(fixp.MFLinear)
+}
+
+// benchEmbedded is benchModel quantized to the integer serving form.
+func benchEmbedded(r *rng.Rand, k, d, downsample int) (*core.Embedded, error) {
+	return benchModel(r, k, d, downsample).Quantize(fixp.MFLinear)
 }
 
 // record converts a testing.BenchmarkResult into the JSON row.
@@ -239,6 +281,40 @@ func runJSONBench(dir string) (string, error) {
 			})))
 	}
 
+	// --- engine scheduler: many concurrent streams over a worker pool, the
+	// multi-core serving shape (sharded run queues + pooled Send chunks) ---
+	{
+		r := rng.New(4)
+		cat := catalog.New()
+		if _, err := cat.Put("bench", benchModel(r, 8, 50, 4), nil); err != nil {
+			return "", err
+		}
+		lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "eng", Seconds: 30, Seed: 17, PVCRate: 0.1}).Leads[0]
+
+		// Steady-state Send: admission + pooled copy + worker drain,
+		// synchronized per op so allocs/op is exact.
+		sendRes, err := benchEngineSend(cat, lead)
+		if err != nil {
+			return "", err
+		}
+		out.Results = append(out.Results, record("engine/send_steady_state", sendRes))
+		out.Engine.SendAllocsPerOp = sendRes.AllocsPerOp()
+
+		for _, workers := range workerCounts() {
+			streams := 4 * workers
+			met, err := engineSweepRow(cat, workers, streams, lead)
+			if err != nil {
+				return "", err
+			}
+			out.Engine.Sweep = append(out.Engine.Sweep, met)
+			out.Results = append(out.Results, benchResult{
+				Name:       fmt.Sprintf("engine/throughput_w%d_s%d", workers, streams),
+				Iterations: streams * sweepRounds(streams, len(lead)) * len(lead),
+				NsPerOp:    1e9 / met.SamplesPerSec, // per aggregate sample
+			})
+		}
+	}
+
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
@@ -255,6 +331,212 @@ func runJSONBench(dir string) (string, error) {
 		return "", err
 	}
 	return path, nil
+}
+
+// workerCounts is the engine sweep's pool sizes: powers of two up to 4 plus
+// the host's core count, deduplicated and ascending — enough to show the
+// scaling trend on multi-core hardware without making the suite slow.
+func workerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	counts := make([]int, 0, len(set))
+	for w := range set {
+		counts = append(counts, w)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// sweepRounds sizes one sweep row's work: enough record repetitions per
+// stream that the row measures steady-state draining (~1.2M samples total),
+// never fewer than one.
+func sweepRounds(streams, leadLen int) int {
+	rounds := 1_200_000 / (streams * leadLen)
+	if rounds < 1 {
+		rounds = 1
+	}
+	return rounds
+}
+
+// sendRetry forwards one chunk, retrying (with a scheduler yield) while the
+// per-stream queue is full — the producer-side backpressure loop every
+// engine client runs.
+func sendRetry(ctx context.Context, st *pipeline.Stream, chunk []int32) error {
+	for {
+		err := st.Send(ctx, chunk)
+		if !apierr.IsCode(err, apierr.CodeStreamOverloaded) {
+			return err
+		}
+		runtime.Gosched()
+	}
+}
+
+// benchEngineSend measures one synchronized Send: admission, the copy into a
+// pooled chunk buffer and the worker's drain. The drain-wait makes the
+// number a per-chunk service time and the allocation count exact (0 is the
+// tested invariant).
+func benchEngineSend(cat *catalog.Catalog, lead []int32) (testing.BenchmarkResult, error) {
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+	st, err := eng.Open(ctx, "", pipeline.Config{}, nil)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	const chunk = 720
+	for off := 0; off+chunk <= len(lead); off += chunk { // warm-up pass
+		if err := sendRetry(ctx, st, lead[off:off+chunk]); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	for st.PendingSamples() > 0 {
+		runtime.Gosched()
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		next := 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := st.Send(ctx, lead[next:next+chunk]); err != nil {
+				b.Fatal(err)
+			}
+			next += chunk
+			if next+chunk > len(lead) {
+				next = 0
+			}
+			for st.PendingSamples() > 0 {
+				runtime.Gosched()
+			}
+		}
+	})
+	return res, st.Close()
+}
+
+// engineSweepRow runs one worker-scaling row: aggregate drain throughput
+// with every stream saturating its queue, then chunk service latency
+// percentiles probed while the other streams keep the pool busy.
+func engineSweepRow(cat *catalog.Catalog, workers, streams int, lead []int32) (engineMetrics, error) {
+	met := engineMetrics{Workers: workers, Streams: streams}
+	// A serving-realistic queue bound (~45 s of one lead per stream): deep
+	// enough that throughput is drain-limited, shallow enough that the
+	// latency probe measures scheduling, not minutes of queued backlog.
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: workers, MaxPending: 16384})
+	defer eng.Close()
+	ctx := context.Background()
+	errc := make(chan error, 2*streams+2)
+
+	// Aggregate throughput: elapsed spans the first Send to the last Close
+	// (Close waits for the stream's drain), so the rate is the pool's.
+	const chunk = 1024
+	rounds := sweepRounds(streams, len(lead))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := eng.Open(ctx, "", pipeline.Config{}, nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				for off := 0; off < len(lead); {
+					end := min(off+chunk, len(lead))
+					if err := sendRetry(ctx, st, lead[off:end]); err != nil {
+						errc <- err
+						return
+					}
+					off = end
+				}
+			}
+			if err := st.Close(); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return met, err
+	default:
+	}
+	total := float64(streams * rounds * len(lead))
+	met.SamplesPerSec = total / elapsed.Seconds()
+	met.RealtimeStreams = met.SamplesPerSec / ecgsyn.Fs
+
+	// Chunk latency: one probe stream measuring Send-to-drained while
+	// streams-1 load streams keep every worker saturated.
+	stop := make(chan struct{})
+	var lwg sync.WaitGroup
+	for i := 0; i < streams-1; i++ {
+		lwg.Add(1)
+		go func() {
+			defer lwg.Done()
+			st, err := eng.Open(ctx, "", pipeline.Config{}, nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer st.Close()
+			off := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				end := min(off+chunk, len(lead))
+				if err := sendRetry(ctx, st, lead[off:end]); err != nil {
+					errc <- err
+					return
+				}
+				if off = end; off == len(lead) {
+					off = 0
+				}
+			}
+		}()
+	}
+	probe, err := eng.Open(ctx, "", pipeline.Config{}, nil)
+	if err != nil {
+		close(stop)
+		lwg.Wait()
+		return met, err
+	}
+	const (
+		probes     = 100
+		probeChunk = 360 // one second of one 360 Hz lead
+	)
+	lat := make([]float64, 0, probes)
+	off := 0
+	for len(lat) < probes {
+		t0 := time.Now()
+		if err := sendRetry(ctx, probe, lead[off:off+probeChunk]); err != nil {
+			close(stop)
+			lwg.Wait()
+			return met, err
+		}
+		for probe.PendingSamples() > 0 {
+			runtime.Gosched()
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds()))
+		if off += probeChunk; off+probeChunk > len(lead) {
+			off = 0
+		}
+	}
+	if err := probe.Close(); err != nil {
+		errc <- err
+	}
+	close(stop)
+	lwg.Wait()
+	select {
+	case err := <-errc:
+		return met, err
+	default:
+	}
+	sort.Float64s(lat)
+	met.ChunkP50Ns = lat[len(lat)/2]
+	met.ChunkP99Ns = lat[min(len(lat)-1, len(lat)*99/100)]
+	return met, nil
 }
 
 // nextBenchPath returns dir/BENCH_<n>.json for the smallest n >= 1 that does

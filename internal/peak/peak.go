@@ -58,6 +58,35 @@ type candidate struct {
 	amp float64
 }
 
+// extremum is a significant local extremum of the detection signal.
+type extremum struct {
+	pos int
+	val float64
+}
+
+// Scratch holds the reusable working buffers of one detection run: the
+// wavelet decomposition, the per-scale and combined thresholds, and the
+// extremum/candidate/peak lists. A zero value is ready to use; buffers grow
+// to the largest record seen and are reused afterwards, so a warm scratch
+// makes DetectInto nearly allocation-free. Not safe for concurrent use.
+type Scratch struct {
+	dwt   sigdsp.DWT
+	thr   [][]float64
+	z     []float64
+	thrZ  []float64
+	ext   []extremum
+	cands []candidate
+	kept  []candidate
+	peaks []int
+}
+
+func growFloat(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // scales holds the decomposition, the per-scale adaptive thresholds and the
 // combined detection signal.
 type scales struct {
@@ -72,19 +101,31 @@ type scales struct {
 	thrZ []float64
 }
 
-func decompose(x []float64, c Config) scales {
-	d := sigdsp.AtrousDWT(x, 4)
-	s := scales{w: d.W, thr: make([][]float64, len(d.W))}
-	win := int(c.WindowSec * c.Fs)
-	for i := range d.W {
-		s.thr[i] = windowedRMS(d.W[i], win)
+func decompose(sc *Scratch, x []float64, c Config) scales {
+	sigdsp.AtrousDWTInto(&sc.dwt, x, 4)
+	d := &sc.dwt
+	if cap(sc.thr) >= len(d.W) {
+		sc.thr = sc.thr[:len(d.W)]
+	} else {
+		thr := make([][]float64, len(d.W))
+		copy(thr, sc.thr)
+		sc.thr = thr
 	}
 	n := len(x)
-	s.z = make([]float64, n)
+	s := scales{w: d.W, thr: sc.thr}
+	win := int(c.WindowSec * c.Fs)
+	for i := range d.W {
+		sc.thr[i] = growFloat(sc.thr[i], n)
+		windowedRMSInto(sc.thr[i], d.W[i], win)
+	}
+	sc.z = growFloat(sc.z, n)
+	s.z = sc.z
 	for i := 0; i < n; i++ {
 		s.z[i] = d.W[1][i]/(s.thr[1][i]+1e-300) + d.W[2][i]/(s.thr[2][i]+1e-300)
 	}
-	s.thrZ = windowedRMS(s.z, win)
+	sc.thrZ = growFloat(sc.thrZ, n)
+	s.thrZ = sc.thrZ
+	windowedRMSInto(s.thrZ, s.z, win)
 	return s
 }
 
@@ -102,17 +143,29 @@ func (s scales) slice(lo, hi int) scales {
 
 // Detect returns the R-peak sample indices found in x (a single filtered
 // lead), sorted ascending.
+//
+// Each call allocates its own working buffers. Request loops should hold a
+// Scratch (as pipeline.BatchScratch does) and call DetectInto instead.
 func Detect(x []float64, cfg Config) []int {
+	return DetectInto(x, cfg, new(Scratch))
+}
+
+// DetectInto is Detect running through the caller's scratch buffers: the
+// decomposition, thresholds and candidate lists are reused across calls, so
+// a warm scratch detects with O(1) allocations (search-back, when enabled,
+// still allocates for its re-scan passes). The returned slice aliases s and
+// is valid until the next call with the same scratch; copy it to retain.
+func DetectInto(x []float64, cfg Config, s *Scratch) []int {
 	c := cfg.withDefaults()
 	if len(x) < 16 {
 		return nil
 	}
-	s := decompose(x, c)
-	cands := detectPass(s, c, 1.0)
-	peaks := arbitrate(cands, int(c.RefractorySec*c.Fs))
+	sc := decompose(s, x, c)
+	cands := detectPass(s, sc, c, 1.0)
+	peaks := arbitrate(s, cands, int(c.RefractorySec*c.Fs))
 
 	if !c.SearchBackOff && len(peaks) >= 3 {
-		peaks = searchBack(peaks, s, c)
+		peaks = searchBack(s, peaks, sc, c)
 	}
 	return peaks
 }
@@ -120,18 +173,15 @@ func Detect(x []float64, cfg Config) []int {
 // detectPass scans the combined detection signal for significant
 // modulus-maxima pairs and localizes each QRS at the zero crossing between
 // the pair (on the finest scale that shows one, per the paper). thrScale
-// relaxes thresholds (< 1) during search-back.
-func detectPass(s scales, c Config, thrScale float64) []candidate {
+// relaxes thresholds (< 1) during search-back. The returned slice aliases
+// sc.cands.
+func detectPass(sc *Scratch, s scales, c Config, thrScale float64) []candidate {
 	z, tz := s.z, s.thrZ
 	n := len(z)
 	pair := int(c.PairSec * c.Fs)
 
 	// Significant local extrema of the detection signal.
-	type extremum struct {
-		pos int
-		val float64
-	}
-	var ext []extremum
+	ext := sc.ext[:0]
 	for i := 1; i < n-1; i++ {
 		v := z[i]
 		if math.Abs(v) < thrScale*c.ThresholdFactor*tz[i] {
@@ -141,8 +191,9 @@ func detectPass(s scales, c Config, thrScale float64) []candidate {
 			ext = append(ext, extremum{i, v})
 		}
 	}
+	sc.ext = ext
 
-	var cands []candidate
+	cands := sc.cands[:0]
 	for i := 0; i+1 < len(ext); i++ {
 		a, b := ext[i], ext[i+1]
 		if a.val*b.val >= 0 || b.pos-a.pos > pair {
@@ -158,18 +209,19 @@ func detectPass(s scales, c Config, thrScale float64) []candidate {
 		}
 		cands = append(cands, candidate{pos: zc, amp: math.Abs(a.val) + math.Abs(b.val)})
 	}
+	sc.cands = cands
 	return cands
 }
 
-// windowedRMS computes a per-sample threshold baseline: the RMS of v over
+// windowedRMSInto computes a per-sample threshold baseline into out (which
+// must have len(v)): the RMS of v over
 // non-overlapping windows, held constant inside each window. Using windows
 // rather than a global RMS makes the detector robust to noise bursts and
 // amplitude drift within a record.
-func windowedRMS(v []float64, win int) []float64 {
+func windowedRMSInto(out, v []float64, win int) {
 	if win < 8 {
 		win = 8
 	}
-	out := make([]float64, len(v))
 	for start := 0; start < len(v); start += win {
 		end := start + win
 		if end > len(v) {
@@ -184,7 +236,6 @@ func windowedRMS(v []float64, win int) []float64 {
 			out[i] = r
 		}
 	}
-	return out
 }
 
 // zeroCrossing returns the index of the sign change of w inside (lo, hi), or
@@ -212,13 +263,14 @@ func zeroCrossing(w []float64, lo, hi int) int {
 }
 
 // arbitrate enforces the refractory period: candidates closer than refract
-// keep only the largest-amplitude member.
-func arbitrate(cands []candidate, refract int) []int {
+// keep only the largest-amplitude member. cands is sorted in place; the
+// returned slice aliases sc.peaks.
+func arbitrate(sc *Scratch, cands []candidate, refract int) []int {
 	if len(cands) == 0 {
 		return nil
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].pos < cands[j].pos })
-	var kept []candidate
+	kept := sc.kept[:0]
 	for _, c := range cands {
 		if len(kept) > 0 && c.pos-kept[len(kept)-1].pos < refract {
 			if c.amp > kept[len(kept)-1].amp {
@@ -228,37 +280,44 @@ func arbitrate(cands []candidate, refract int) []int {
 		}
 		kept = append(kept, c)
 	}
-	out := make([]int, len(kept))
-	for i, c := range kept {
-		out[i] = c.pos
+	sc.kept = kept
+	peaks := sc.peaks[:0]
+	for _, c := range kept {
+		peaks = append(peaks, c.pos)
 	}
-	return out
+	sc.peaks = peaks
+	return peaks
 }
 
 // searchBack re-scans abnormally long RR gaps with relaxed thresholds,
-// recovering low-amplitude beats the first pass missed.
-func searchBack(peaks []int, s scales, c Config) []int {
-	rrs := make([]float64, 0, len(peaks)-1)
-	for i := 1; i < len(peaks); i++ {
-		rrs = append(rrs, float64(peaks[i]-peaks[i-1]))
+// recovering low-amplitude beats the first pass missed. peaks may alias
+// sc.peaks: the gap list is copied up front because the nested
+// detectPass/arbitrate calls clobber the scratch lists. The returned slice
+// is freshly allocated (search-back is the retrospective batch path, off on
+// every streaming/serving configuration, so its allocations are acceptable).
+func searchBack(sc *Scratch, peaks []int, s scales, c Config) []int {
+	orig := append([]int(nil), peaks...)
+	rrs := make([]float64, 0, len(orig)-1)
+	for i := 1; i < len(orig); i++ {
+		rrs = append(rrs, float64(orig[i]-orig[i-1]))
 	}
 	med := median(rrs)
 	if med <= 0 {
-		return peaks
+		return orig
 	}
 	refract := int(c.RefractorySec * c.Fs)
-	out := append([]int(nil), peaks...)
-	for i := 1; i < len(peaks); i++ {
-		gap := float64(peaks[i] - peaks[i-1])
+	out := append([]int(nil), orig...)
+	for i := 1; i < len(orig); i++ {
+		gap := float64(orig[i] - orig[i-1])
 		if gap < 1.66*med {
 			continue
 		}
-		lo, hi := peaks[i-1]+refract, peaks[i]-refract
+		lo, hi := orig[i-1]+refract, orig[i]-refract
 		if hi <= lo {
 			continue
 		}
-		sub := detectPass(s.slice(lo, hi), c, 0.5)
-		for _, cd := range arbitrate(sub, refract) {
+		sub := detectPass(sc, s.slice(lo, hi), c, 0.5)
+		for _, cd := range arbitrate(sc, sub, refract) {
 			out = append(out, lo+cd)
 		}
 	}

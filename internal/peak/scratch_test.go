@@ -1,0 +1,63 @@
+package peak
+
+import (
+	"testing"
+
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/sigdsp"
+)
+
+// TestDetectIntoMatchesDetect holds the scratch-reusing detector to exact
+// agreement with the allocating one, across repeated reuse of one scratch
+// (longer and shorter records, with and without search-back).
+func TestDetectIntoMatchesDetect(t *testing.T) {
+	var s Scratch
+	for _, tc := range []struct {
+		spec    ecgsyn.RecordSpec
+		backOff bool
+	}{
+		{ecgsyn.RecordSpec{Name: "d1", Seconds: 60, Seed: 4, PVCRate: 0.1}, true},
+		{ecgsyn.RecordSpec{Name: "d2", Seconds: 30, Seed: 9}, true},
+		{ecgsyn.RecordSpec{Name: "d3", Seconds: 45, Seed: 2, PVCRate: 0.2}, false},
+		{ecgsyn.RecordSpec{Name: "d4", Seconds: 20, Seed: 7}, false},
+	} {
+		rec := ecgsyn.Synthesize(tc.spec)
+		filtered := sigdsp.FilterECG(rec.LeadMillivolts(0), sigdsp.DefaultBaselineConfig(rec.Fs))
+		cfg := Config{Fs: rec.Fs, SearchBackOff: tc.backOff}
+		want := Detect(filtered, cfg)
+		got := DetectInto(filtered, cfg, &s)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d peaks via scratch, %d via reference", tc.spec.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: peak %d = %d, want %d", tc.spec.Name, i, got[i], want[i])
+			}
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s: no peaks at all", tc.spec.Name)
+		}
+	}
+}
+
+// TestDetectIntoSteadyStateAllocs: with search-back off (every streaming and
+// serving configuration), a warm scratch must detect with O(1) allocations —
+// the sort.Slice closure is the only remaining source.
+func TestDetectIntoSteadyStateAllocs(t *testing.T) {
+	rec := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "da", Seconds: 30, Seed: 5, PVCRate: 0.1})
+	filtered := sigdsp.FilterECG(rec.LeadMillivolts(0), sigdsp.DefaultBaselineConfig(rec.Fs))
+	cfg := Config{Fs: rec.Fs, SearchBackOff: true}
+	var s Scratch
+	if got := DetectInto(filtered, cfg, &s); len(got) == 0 {
+		t.Fatal("warm-up detected nothing")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		DetectInto(filtered, cfg, &s)
+	})
+	// sort.Slice wraps its less func in an interface: a handful of small
+	// allocations per record is the accepted floor; the ~40 signal-length
+	// buffers are what must not come back.
+	if allocs > 8 {
+		t.Fatalf("warm DetectInto allocated %.1f times per record, want <= 8", allocs)
+	}
+}

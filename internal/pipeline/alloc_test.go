@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"rpbeat/internal/ecgsyn"
@@ -42,6 +43,63 @@ func TestPipelinePushZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Push allocated %.1f times per 3600 samples, want 0", allocs)
+	}
+}
+
+// TestEngineSendZeroAlloc holds the steady-state Send path to zero
+// allocations: once the chunk pool, the stream's FIFO backing array, the
+// shard queue and the pipeline's internal buffers are warm, enqueuing a
+// chunk and having a worker drain it must not allocate — on either side of
+// the handoff (AllocsPerRun counts the worker goroutine's allocations too).
+// This is the pooled-Send counterpart of TestPipelinePushZeroAlloc.
+func TestEngineSendZeroAlloc(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "sza", Seconds: 60, Seed: 8, PVCRate: 0.1}).Leads[0]
+
+	st, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 720
+	drain := func() {
+		for st.PendingSamples() > 0 {
+			runtime.Gosched()
+		}
+	}
+	// Warm up: one full pass brings the pool, FIFO and pipeline to steady
+	// state.
+	for off := 0; off+chunk <= len(lead); off += chunk {
+		if err := st.Send(ctx, lead[off:off+chunk]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain()
+
+	var sendErr error
+	next := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 5; i++ {
+			if err := st.Send(ctx, lead[next:next+chunk]); err != nil {
+				sendErr = err
+				return
+			}
+			next += chunk
+			if next+chunk > len(lead) {
+				next = 0
+			}
+			drain()
+		}
+	})
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state Send allocated %.1f times per 5 chunks, want 0", allocs)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -2,8 +2,11 @@ package pipeline
 
 import (
 	"context"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rpbeat/internal/apierr"
 	"rpbeat/internal/catalog"
@@ -286,6 +289,250 @@ func TestEngineOverload(t *testing.T) {
 	}
 }
 
+// TestPushChunkMatchesPush: feeding a record through PushChunk (with uneven
+// chunk sizes, including single samples) emits exactly the beats a
+// per-sample Push run emits — the bit-identity the engine worker's chunked
+// inner loop rests on.
+func TestPushChunkMatchesPush(t *testing.T) {
+	emb := testModel(t)
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "pc", Seconds: 45, Seed: 21, PVCRate: 0.1}).Leads[0]
+
+	ref, err := New(emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []BeatResult
+	for _, v := range lead {
+		want = append(want, ref.Push(v)...)
+	}
+	want = append(want, ref.Flush()...)
+
+	chunked, err := New(emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []BeatResult
+	emit := func(beats []BeatResult) { got = append(got, beats...) }
+	sizes := []int{1, 7, 360, 1024, 3, 719}
+	for off, i := 0, 0; off < len(lead); i++ {
+		end := off + sizes[i%len(sizes)]
+		if end > len(lead) {
+			end = len(lead)
+		}
+		chunked.PushChunk(lead[off:end], emit)
+		off = end
+	}
+	got = append(got, chunked.Flush()...)
+
+	if len(got) != len(want) {
+		t.Fatalf("chunked run emitted %d beats, per-sample %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("beat %d: chunked %+v != per-sample %+v", i, got[i], want[i])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no beats at all")
+	}
+}
+
+// TestStreamFIFORecycled: the worker must hand the stream's FIFO backing
+// array back instead of discarding it, so steady-state Sends append into
+// recycled capacity. The test drives many send/drain cycles and checks the
+// capacity settles instead of being re-grown from zero each drain.
+func TestStreamFIFORecycled(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+
+	st, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int32, 64)
+	cycle := func() {
+		for i := 0; i < 4; i++ {
+			if err := st.Send(ctx, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for st.PendingSamples() > 0 {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < 8; i++ { // warm up: FIFO capacity reaches its working size
+		cycle()
+	}
+	st.mu.Lock()
+	warm := cap(st.fifo)
+	st.mu.Unlock()
+	if warm == 0 {
+		t.Fatal("warm FIFO has no retained capacity — backing array was discarded")
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	st.mu.Lock()
+	final := cap(st.fifo)
+	st.mu.Unlock()
+	if final > warm {
+		t.Fatalf("FIFO backing array re-grown after warm-up: cap %d -> %d", warm, final)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineStress drives hundreds of streams over a small worker pool (run
+// under -race in CI): every stream's beats must match a sequential
+// single-pipeline run exactly (ordering and completeness through the
+// sharded queues, work stealing and chunk pooling), overloads must surface
+// as the typed backpressure error and be survivable by retrying, and the
+// worker goroutines must all exit on Engine.Close.
+func TestEngineStress(t *testing.T) {
+	before := runtime.NumGoroutine()
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 4, MaxPending: 2048})
+	ctx := context.Background()
+
+	// A few distinct records shared by many streams keeps synthesis cheap
+	// while every stream still checks full beat-for-beat equality.
+	const (
+		streams = 160
+		records = 8
+	)
+	leads := make([][]int32, records)
+	refs := make([][]BeatResult, records)
+	emb := testModel(t)
+	for i := range leads {
+		leads[i] = ecgsyn.Synthesize(ecgsyn.RecordSpec{
+			Name: "st", Seconds: 8, Seed: uint64(300 + i), PVCRate: 0.15,
+		}).Leads[0]
+		pipe, err := New(emb, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range leads[i] {
+			refs[i] = append(refs[i], pipe.Push(v)...)
+		}
+		refs[i] = append(refs[i], pipe.Flush()...)
+		if len(refs[i]) == 0 {
+			t.Fatalf("record %d: sequential reference emitted no beats", i)
+		}
+	}
+
+	var overloads atomic.Int64
+	results := make([][]BeatResult, streams)
+	var wg sync.WaitGroup
+	for si := 0; si < streams; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			lead := leads[si%records]
+			st, err := eng.Open(ctx, "m", Config{}, func(beats []BeatResult) {
+				results[si] = append(results[si], beats...)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			chunk := 97 + 53*(si%7)
+			for off := 0; off < len(lead); {
+				end := off + chunk
+				if end > len(lead) {
+					end = len(lead)
+				}
+				err := st.Send(ctx, lead[off:end])
+				if apierr.IsCode(err, apierr.CodeStreamOverloaded) {
+					overloads.Add(1)
+					runtime.Gosched() // back off and retry the same chunk
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				off = end
+			}
+			if err := st.Close(); err != nil {
+				t.Error(err)
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	for si := range results {
+		want := refs[si%records]
+		if len(results[si]) != len(want) {
+			t.Fatalf("stream %d: engine emitted %d beats, sequential %d", si, len(results[si]), len(want))
+		}
+		for i := range want {
+			if results[si][i] != want[i] {
+				t.Fatalf("stream %d beat %d: engine %+v != sequential %+v", si, i, results[si][i], want[i])
+			}
+		}
+	}
+	t.Logf("stress: %d streams, %d overload backoffs", streams, overloads.Load())
+
+	eng.Close()
+	// The pool's goroutines must all exit; give the scheduler a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after Engine.Close: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEngineCloseRacesSend: shutting the engine down while producers are
+// mid-Send must neither hang Close (a Send rejected at admission decrements
+// the in-flight counter without enqueuing — workers must not park waiting
+// for a wake that will never come) nor trip the race detector. Repeated to
+// give the interleavings a chance to land in the admission window.
+func TestEngineCloseRacesSend(t *testing.T) {
+	cat := testCatalog(t, "m")
+	for iter := 0; iter < 25; iter++ {
+		// The small queue bound keeps the backlog Close must drain tiny, so
+		// the iterations exercise the shutdown race rather than throughput.
+		eng := NewEngine(cat, EngineConfig{Workers: 2, MaxPending: 4096})
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			st, err := eng.Open(ctx, "m", Config{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]int32, 64)
+				for {
+					if err := st.Send(ctx, buf); err != nil {
+						if !apierr.IsCode(err, apierr.CodeStreamOverloaded) {
+							return // engine closed
+						}
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+		runtime.Gosched()
+		closed := make(chan struct{})
+		go func() {
+			eng.Close()
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Engine.Close hung with concurrent Sends")
+		}
+		wg.Wait()
+	}
+}
+
 func BenchmarkEngineThroughput(b *testing.B) {
 	eng := NewEngine(testCatalog(b, "m"), EngineConfig{})
 	defer eng.Close()
@@ -325,4 +572,49 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		wg.Wait()
 	}
 	b.SetBytes(int64(streams * len(lead) * 4))
+}
+
+// BenchmarkEngineSendSteadyState measures one chunk through the pooled Send
+// admission path plus the worker drain (synchronized, so the number is
+// chunk latency, not queue-fill throughput). allocs/op must be 0.
+func BenchmarkEngineSendSteadyState(b *testing.B) {
+	eng := NewEngine(testCatalog(b, "m"), EngineConfig{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "bs", Seconds: 60, Seed: 14, PVCRate: 0.1}).Leads[0]
+
+	st, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 720
+	for off := 0; off+chunk <= len(lead); off += chunk { // warm up
+		if err := st.Send(ctx, lead[off:off+chunk]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for st.PendingSamples() > 0 {
+		runtime.Gosched()
+	}
+
+	next := 0
+	b.ReportAllocs()
+	b.SetBytes(chunk * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Send(ctx, lead[next:next+chunk]); err != nil {
+			b.Fatal(err)
+		}
+		next += chunk
+		if next+chunk > len(lead) {
+			next = 0
+		}
+		for st.PendingSamples() > 0 {
+			runtime.Gosched()
+		}
+	}
+	b.StopTimer()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -101,7 +101,8 @@ type Pipeline struct {
 	filter *sigdsp.StreamECGFilter
 	det    *peak.StreamDetector
 
-	raw     []int32 // ring of raw ADC counts
+	raw     []int32 // ring of raw ADC counts (power-of-two length)
+	rawMask int     // len(raw)-1, for mask-indexing the ring
 	n       int     // samples consumed
 	flushed bool
 
@@ -142,6 +143,7 @@ func New(emb *core.Embedded, cfg Config) (*Pipeline, error) {
 	// The ring must still hold sample max(0, peak-Before) when a peak
 	// finalizes, at worst Delay() samples after the peak position.
 	p.raw = make([]int32, nextPow2(p.Delay()+c.Before+c.After+64))
+	p.rawMask = len(p.raw) - 1
 	return p, nil
 }
 
@@ -184,7 +186,7 @@ func (p *Pipeline) Samples() int { return p.n }
 // The returned slice is reused by the next call; copy it to retain.
 func (p *Pipeline) Push(sample int32) []BeatResult {
 	p.out = p.out[:0]
-	p.raw[p.n%len(p.raw)] = sample
+	p.raw[p.n&p.rawMask] = sample
 	p.n++
 	mv := float64(sample-p.cfg.ADCZero) / p.cfg.Gain
 	y, ok := p.filter.Push(mv)
@@ -195,6 +197,33 @@ func (p *Pipeline) Push(sample int32) []BeatResult {
 		p.classify(pk)
 	}
 	return p.out
+}
+
+// PushChunk consumes a whole chunk of raw ADC samples and invokes emit once
+// with every beat the chunk finalized, in input order (emit is not called
+// for chunks that finalize nothing). It is bit-identical to calling Push per
+// sample and concatenating the results; the per-sample return-slice reset
+// and call overhead are amortized over the chunk, which is what the engine's
+// workers and /v1/stream run. The slice passed to emit is reused by the next
+// Push/PushChunk call; copy it to retain.
+func (p *Pipeline) PushChunk(samples []int32, emit func([]BeatResult)) {
+	p.out = p.out[:0]
+	raw, mask := p.raw, p.rawMask
+	zero, gain := p.cfg.ADCZero, p.cfg.Gain
+	for _, v := range samples {
+		raw[p.n&mask] = v
+		p.n++
+		y, ok := p.filter.Push(float64(v-zero) / gain)
+		if !ok {
+			continue
+		}
+		for _, pk := range p.det.Push(y) {
+			p.classify(pk)
+		}
+	}
+	if len(p.out) > 0 && emit != nil {
+		emit(p.out)
+	}
 }
 
 // Flush ends the stream, draining the detector's final threshold window and
@@ -223,7 +252,7 @@ func (p *Pipeline) classify(pk int) {
 		if j >= p.n {
 			j = p.n - 1
 		}
-		p.window[i] = p.raw[j%len(p.raw)]
+		p.window[i] = p.raw[j&p.rawMask]
 	}
 	sigdsp.DownsampleIntInto(p.ds, p.window, p.emb.Downsample)
 	d := p.emb.ClassifyInto(p.ds, p.u, p.grades)
@@ -256,19 +285,23 @@ func BatchClassify(ctx context.Context, emb *core.Embedded, lead []int32, cfg Co
 // value is ready to use; buffers grow to the largest record seen and are
 // reused afterwards. Not safe for concurrent use.
 type BatchScratch struct {
-	mv     []float64
-	window []int32
-	ds     []int32
-	u      []int32
-	grades []uint16
-	beats  []BeatResult
+	mv       []float64
+	filtered []float64
+	filt     sigdsp.FilterScratch
+	det      peak.Scratch
+	window   []int32
+	ds       []int32
+	u        []int32
+	grades   []uint16
+	beats    []BeatResult
 }
 
 // BatchClassifyInto is BatchClassify running through the caller's scratch
-// buffers: all O(beats) allocations of the batch path are eliminated (the
-// front-end filter and detector still allocate internally, once per record).
-// The returned slice aliases s and is valid until the next call with the
-// same scratch; copy it to retain.
+// buffers: the front-end filter and wavelet decomposition, the detector's
+// threshold/candidate lists and all O(beats) buffers are reused across
+// calls, so a warm scratch classifies a record with O(1) allocations. The
+// returned slice aliases s and is valid until the next call with the same
+// scratch; copy it to retain.
 //
 // The context is honored at the record granularity a request cares about:
 // checked on entry, after the front-end (filter + detector, the bulk of the
@@ -298,8 +331,8 @@ func BatchClassifyInto(ctx context.Context, emb *core.Embedded, lead []int32, cf
 	for i, v := range lead {
 		mv[i] = float64(v-c.ADCZero) / c.Gain
 	}
-	filtered := sigdsp.FilterECG(mv, c.Baseline)
-	peaks := peak.Detect(filtered, c.Peak)
+	s.filtered = sigdsp.FilterECGInto(s.filtered, mv, c.Baseline, &s.filt)
+	peaks := peak.DetectInto(s.filtered, c.Peak, &s.det)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

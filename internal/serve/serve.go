@@ -7,7 +7,9 @@
 //   - POST /v1/stream — online classification over NDJSON: the client sends
 //     lines of {"samples":[...]} chunks as they are acquired; the server
 //     answers with one NDJSON line per finalized beat, flushed as soon as
-//     the streaming pipeline emits it, and a final {"done":true} summary.
+//     the streaming pipeline emits it (the engine classifies whole chunks
+//     at a time via Pipeline.PushChunk, so beats surface in per-chunk
+//     bursts), and a final {"done":true} summary.
 //
 // Both select a model with a catalog reference — "name" (latest version) or
 // "name@vN" (pinned) — and fall back to the catalog default.
@@ -63,9 +65,11 @@ type server struct {
 	eng       *pipeline.Engine
 	maxUpload int64
 	// scratch pools the per-request working buffers of /v1/classify: the
-	// millivolt conversion, per-beat classification scratch and response
-	// beat slices are reused across requests instead of allocated per call,
-	// so a steady request rate holds a steady working set.
+	// millivolt conversion, the morphological filter and wavelet-detector
+	// buffers, the per-beat classification scratch and the response beat
+	// slices are all reused across requests instead of allocated per call,
+	// so a steady request rate holds a steady working set (the whole batch
+	// path is O(1) allocations on a warm scratch).
 	scratch sync.Pool
 }
 

@@ -28,10 +28,19 @@ func Dilate(x []float64, length int) []float64 {
 // window of the given length using monotonic-deque streaming: amortized O(1)
 // per sample regardless of window length.
 func slideExtremum(x []float64, length int, wantMax bool) []float64 {
+	out := make([]float64, len(x))
+	slideExtremumInto(out, x, length, wantMax, nil)
+	return out
+}
+
+// slideExtremumInto is slideExtremum into a caller-provided slice (len(out)
+// must equal len(x); out must not alias x). deque is an optional reusable
+// index buffer; the possibly-grown buffer is returned for the caller to keep
+// for the next call, so repeated invocations allocate nothing.
+func slideExtremumInto(out, x []float64, length int, wantMax bool, deque []int) []int {
 	n := len(x)
-	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return deque
 	}
 	if length < 1 {
 		length = 1
@@ -44,14 +53,8 @@ func slideExtremum(x []float64, length int, wantMax bool) []float64 {
 	right := length - 1 - left
 
 	// Monotonic deque of indices into x: front holds the window extremum.
-	deque := make([]int, 0, length)
+	deque = deque[:0]
 	head := 0 // logical front of the deque within the slice
-	better := func(a, b float64) bool {
-		if wantMax {
-			return a >= b
-		}
-		return a <= b
-	}
 	next := 0 // next sample index to enter the deque
 	for i := 0; i < n; i++ {
 		hi := i + right
@@ -59,8 +62,15 @@ func slideExtremum(x []float64, length int, wantMax bool) []float64 {
 			hi = n - 1
 		}
 		for ; next <= hi; next++ {
-			for len(deque) > head && better(x[next], x[deque[len(deque)-1]]) {
-				deque = deque[:len(deque)-1]
+			v := x[next]
+			if wantMax {
+				for len(deque) > head && v >= x[deque[len(deque)-1]] {
+					deque = deque[:len(deque)-1]
+				}
+			} else {
+				for len(deque) > head && v <= x[deque[len(deque)-1]] {
+					deque = deque[:len(deque)-1]
+				}
 			}
 			deque = append(deque, next)
 		}
@@ -70,7 +80,7 @@ func slideExtremum(x []float64, length int, wantMax bool) []float64 {
 		}
 		out[i] = x[deque[head]]
 	}
-	return out
+	return deque
 }
 
 // Open computes morphological opening: erosion followed by dilation.
@@ -150,8 +160,69 @@ func SuppressNoise(x []float64, cfg BaselineConfig) []float64 {
 // FilterECG applies the complete morphological front end: noise suppression
 // followed by baseline removal. It is the software equivalent of the
 // "filtering" stage of sub-system (1) in the paper.
+//
+// Each call allocates fresh output and working buffers; request loops should
+// hold a FilterScratch and call FilterECGInto instead.
 func FilterECG(x []float64, cfg BaselineConfig) []float64 {
-	return RemoveBaseline(SuppressNoise(x, cfg), cfg)
+	return FilterECGInto(nil, x, cfg, new(FilterScratch))
+}
+
+// FilterScratch holds the working buffers of FilterECGInto: three
+// signal-length ping-pong buffers for the morphological cascades and the
+// shared monotonic-deque index buffer. A zero value is ready to use; buffers
+// grow to the largest signal seen and are reused afterwards. Not safe for
+// concurrent use.
+type FilterScratch struct {
+	a, b, c []float64
+	deque   []int
+}
+
+func growFloatBuf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// FilterECGInto is FilterECG running through the caller's scratch buffers:
+// the thirteen sliding-extremum passes of the front end ping-pong between
+// three reused buffers instead of each allocating their own, so a warm
+// scratch makes the whole filter allocation-free. dst is grown as needed and
+// returned (it must not alias x); the result is bit-identical to
+// FilterECG(x, cfg).
+func FilterECGInto(dst, x []float64, cfg BaselineConfig, s *FilterScratch) []float64 {
+	n := len(x)
+	dst = growFloatBuf(dst, n)
+	s.a = growFloatBuf(s.a, n)
+	s.b = growFloatBuf(s.b, n)
+	s.c = growFloatBuf(s.c, n)
+
+	// SuppressNoise: oc = Close(Open(x,k),k), co = Open(Close(x,k),k),
+	// averaged. Same operator order (and therefore the same floats) as the
+	// allocating composition.
+	k := oddAtLeast(cfg.NoiseElem, 3)
+	s.deque = slideExtremumInto(s.a, x, k, false, s.deque) // erode
+	s.deque = slideExtremumInto(s.b, s.a, k, true, s.deque)
+	s.deque = slideExtremumInto(s.a, s.b, k, true, s.deque)
+	s.deque = slideExtremumInto(s.b, s.a, k, false, s.deque) // oc in b
+	s.deque = slideExtremumInto(s.a, x, k, true, s.deque)    // dilate
+	s.deque = slideExtremumInto(s.c, s.a, k, false, s.deque)
+	s.deque = slideExtremumInto(s.a, s.c, k, false, s.deque)
+	s.deque = slideExtremumInto(s.c, s.a, k, true, s.deque) // co in c
+	for i := range s.a {
+		s.a[i] = 0.5 * (s.b[i] + s.c[i]) // suppressed signal in a
+	}
+
+	// RemoveBaseline: baseline = Close(Open(sup, openLen), closeLen).
+	ol, cl := cfg.openLen(), cfg.closeLen()
+	s.deque = slideExtremumInto(s.b, s.a, ol, false, s.deque)
+	s.deque = slideExtremumInto(s.c, s.b, ol, true, s.deque)
+	s.deque = slideExtremumInto(s.b, s.c, cl, true, s.deque)
+	s.deque = slideExtremumInto(s.c, s.b, cl, false, s.deque) // baseline in c
+	for i := range dst {
+		dst[i] = s.a[i] - s.c[i]
+	}
+	return dst
 }
 
 // MMD computes the multiscale morphological derivative of x at the given

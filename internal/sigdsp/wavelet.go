@@ -25,6 +25,10 @@ type DWT struct {
 	W [][]float64
 	// A is the final approximation (lowpass residue).
 	A []float64
+
+	// prev is the level-recursion ping-pong buffer, kept so AtrousDWTInto
+	// can recompute the transform without reallocating it.
+	prev []float64
 }
 
 // filter delay compensation: the causal convolution with the centered
@@ -35,10 +39,29 @@ type DWT struct {
 // AtrousDWT computes `levels` detail scales of x. Border samples are handled
 // by edge replication. Typical use for 360 Hz ECG is levels = 4.
 func AtrousDWT(x []float64, levels int) DWT {
+	var d DWT
+	AtrousDWTInto(&d, x, levels)
+	return d
+}
+
+// AtrousDWTInto recomputes the transform into d, reusing d's detail,
+// approximation and recursion buffers when they are large enough — repeated
+// transforms over same-length signals allocate nothing. The result is
+// bit-identical to AtrousDWT(x, levels).
+func AtrousDWTInto(d *DWT, x []float64, levels int) {
 	n := len(x)
-	d := DWT{W: make([][]float64, levels)}
-	approx := make([]float64, n)
-	copy(approx, x)
+	if cap(d.W) >= levels {
+		d.W = d.W[:levels]
+	} else {
+		w := make([][]float64, levels)
+		copy(w, d.W)
+		d.W = w
+	}
+	for j := range d.W {
+		d.W[j] = growFloatBuf(d.W[j], n)
+	}
+	d.A = growFloatBuf(d.A, n)
+	d.prev = growFloatBuf(d.prev, n)
 
 	at := func(s []float64, i int) float64 {
 		if i < 0 {
@@ -50,43 +73,38 @@ func AtrousDWT(x []float64, levels int) DWT {
 		return s[i]
 	}
 
+	// The recursion ping-pongs between d.prev and d.A; after `levels`
+	// iterations the final approximation lands in one of the two and is
+	// copied into d.A if needed.
+	approx, next := d.prev, d.A
+	copy(approx, x)
 	for j := 0; j < levels; j++ {
 		gap := 1 << j // hole spacing at this level
-		w := make([]float64, n)
-		next := make([]float64, n)
+		half := gap / 2
+		w := d.W[j]
 		for i := 0; i < n; i++ {
-			// Highpass g = 2[1 -1]: forward difference over one hole spacing;
-			// the half-gap shift below re-centers it on i.
-			w[i] = 2 * (at(approx, i+gap) - at(approx, i))
-			// Lowpass h = (1/8)[1 3 3 1] centered on i with spacing gap.
-			next[i] = (at(approx, i-gap) + 3*at(approx, i) +
-				3*at(approx, i+gap) + at(approx, i+2*gap)) / 8
+			// The filters are evaluated at the recentered index directly
+			// (the separate shift pass of the textbook formulation, fused):
+			//
+			// Highpass g = 2[1 -1]: forward difference over one hole
+			// spacing; it estimates the derivative at c+gap/2, so reading
+			// at c = min(i+half, n-1) aligns zero crossings with peaks.
+			//
+			// Lowpass h = (1/8)[1 3 3 1]: the 4-tap support spans offsets
+			// {-gap, 0, +gap, +2gap}, putting its center of mass at +gap/2;
+			// the same recentering keeps the drift from compounding across
+			// levels (coarse-scale detections would shift by tens of
+			// samples otherwise).
+			c := minInt(i+half, n-1)
+			w[i] = 2 * (at(approx, c+gap) - at(approx, c))
+			next[i] = (at(approx, c-gap) + 3*at(approx, c) +
+				3*at(approx, c+gap) + at(approx, c+2*gap)) / 8
 		}
-		// Recenter w: the forward difference above estimates the derivative
-		// at i+gap/2; shift by gap/2 to align zero crossings with peaks.
-		if half := gap / 2; half > 0 {
-			shifted := make([]float64, n)
-			for i := 0; i < n; i++ {
-				shifted[i] = w[minInt(i+half, n-1)]
-			}
-			w = shifted
-		}
-		// Recenter the approximation too: the 4-tap [1 3 3 1] support spans
-		// offsets {-gap, 0, +gap, +2gap}, putting its center of mass at
-		// +gap/2. Without compensation the drift compounds across levels and
-		// coarse-scale features (hence detections) shift by tens of samples.
-		if half := gap / 2; half > 0 {
-			shifted := make([]float64, n)
-			for i := 0; i < n; i++ {
-				shifted[i] = next[minInt(i+half, n-1)]
-			}
-			next = shifted
-		}
-		d.W[j] = w
-		approx = next
+		approx, next = next, approx
 	}
-	d.A = approx
-	return d
+	if levels%2 == 0 { // final approximation ended up in d.prev
+		copy(d.A, d.prev)
+	}
 }
 
 func minInt(a, b int) int {
