@@ -2,8 +2,10 @@ package main
 
 // The -json mode: a machine-readable benchmark harness. It runs the node
 // kernels (projection in all three matrix representations, the integer
-// classifier) and the end-to-end serving paths (streaming Pipeline.Push,
-// batch classification) under testing.Benchmark, and writes the results as
+// classifier), the end-to-end serving paths (streaming Pipeline.Push,
+// batch classification, the multi-stream engine) and the HTTP wire layer
+// (per-codec request decoding, live-server request rates, transport sizes
+// — see serve.go) under testing.Benchmark, and writes the results as
 // BENCH_<n>.json — the repository's tracked performance trajectory (see
 // BENCHMARKS.md for the schema and how each entry maps to the paper).
 
@@ -44,6 +46,7 @@ type benchFile struct {
 	Results   []benchResult   `json:"benchmarks"`
 	Pipeline  pipelineMetrics `json:"pipeline"`
 	Engine    engineBench     `json:"engine"`
+	Serve     serveBenchBlock `json:"serve"`
 	Matrix    matrixBytes     `json:"matrix_bytes"`
 }
 
@@ -313,6 +316,12 @@ func runJSONBench(dir string) (string, error) {
 				NsPerOp:    1e9 / met.SamplesPerSec, // per aggregate sample
 			})
 		}
+	}
+
+	// --- serving wire layer: request decode, response encode and transport
+	// size per codec (stdlib JSON vs fast JSON vs binary frames) ---
+	if err := runServeBench(&out); err != nil {
+		return "", err
 	}
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -9,7 +9,9 @@
 // both data paths with a plain HTTP client, exactly as an external program
 // would:
 //
-//   - POST /v1/classify: a whole record in one JSON request (batch path);
+//   - POST /v1/classify: a whole record in one JSON request (batch path),
+//     then the same record again over the binary sample transport
+//     (application/x-rpbeat-samples) to show the ~5x uplink saving;
 //   - POST /v1/stream: the same record as 1-second NDJSON chunks, with beat
 //     labels streaming back while the "acquisition" is still running.
 //
@@ -33,6 +35,7 @@ import (
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/pipeline"
 	"rpbeat/internal/serve"
+	"rpbeat/internal/wire"
 )
 
 func main() {
@@ -93,6 +96,31 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("POST /v1/classify: %d beats in one request: N=%d L=%d V=%d U=%d\n",
 		batch.Total, batch.Counts["N"], batch.Counts["L"], batch.Counts["V"], batch.Counts["U"])
+
+	// --- the same record over the binary sample transport: what a
+	// bandwidth-bound acquisition node would actually uplink. Each frame
+	// delta-codes its samples (int8 first differences when they fit), so
+	// the record travels at ~1 byte/sample instead of ~5 as decimal JSON;
+	// the server negotiates on the Content-Type and answers identically.
+	binBody := wire.AppendFrames(nil, lead, 2048)
+	resp, err = http.Post(base+"/v1/classify", wire.ContentTypeSamples, bytes.NewReader(binBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		log.Fatalf("binary classify: %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var binBatch serve.ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&binBatch); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if binBatch.Total != batch.Total {
+		log.Fatalf("binary transport classified %d beats, JSON %d", binBatch.Total, batch.Total)
+	}
+	fmt.Printf("POST /v1/classify (binary frames): same %d beats from %d request bytes (JSON took %d, %.1fx more)\n",
+		binBatch.Total, len(binBody), len(body), float64(len(body))/float64(len(binBody)))
 
 	// --- streaming path: 1-second chunks through an io.Pipe, so the request
 	// body is still being produced while beat labels flow back ---

@@ -2,17 +2,32 @@
 // by cmd/rpserve and examples/serve. Two data paths:
 //
 //   - POST /v1/classify — whole-record batch classification (the exact batch
-//     reference path, pipeline.BatchClassify): one JSON request in, one JSON
+//     reference path, pipeline.BatchClassify): one request in, one JSON
 //     response out.
-//   - POST /v1/stream — online classification over NDJSON: the client sends
-//     lines of {"samples":[...]} chunks as they are acquired; the server
-//     answers with one NDJSON line per finalized beat, flushed as soon as
-//     the streaming pipeline emits it (the engine classifies whole chunks
-//     at a time via Pipeline.PushChunk, so beats surface in per-chunk
-//     bursts), and a final {"done":true} summary.
+//   - POST /v1/stream — online classification: the client sends chunks of
+//     samples as they are acquired; the server answers with one NDJSON line
+//     per finalized beat, flushed as soon as the streaming pipeline emits it
+//     (the engine classifies whole chunks at a time via Pipeline.PushChunk,
+//     so beats surface in per-chunk bursts), and a final {"done":true}
+//     summary.
 //
-// Both select a model with a catalog reference — "name" (latest version) or
-// "name@vN" (pinned) — and fall back to the catalog default.
+// Both endpoints negotiate the request encoding on Content-Type:
+//
+//   - application/x-rpbeat-samples selects the binary sample transport
+//     (internal/wire frames; the model is referenced with ?model=), the
+//     compact uplink for bandwidth-bound WBSN acquisition clients;
+//   - anything else is parsed as JSON — {"model":...,"samples":[...]} on
+//     /v1/classify, NDJSON {"samples":[...]} chunk lines on /v1/stream —
+//     through the hand-rolled internal/wire parser (encoding/json only
+//     remains as the HandlerConfig.StdlibJSON A/B baseline).
+//
+// Responses are always JSON/NDJSON, built by internal/wire's append-style
+// encoders into pooled buffers: byte-identical to what encoding/json would
+// emit, without its per-request allocations. Data-path serving is
+// allocation-free above the engine once the pools are warm.
+//
+// Both data paths select a model with a catalog reference — "name" (latest
+// version) or "name@vN" (pinned) — and fall back to the catalog default.
 //
 // The admin surface manages the model catalog while streams are in flight:
 //
@@ -45,44 +60,68 @@ import (
 	"rpbeat/internal/core"
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/pipeline"
+	"rpbeat/internal/wire"
 )
 
 // maxClassifyBytes bounds a /v1/classify request body (~1 hour of one lead
 // as JSON numbers).
 const maxClassifyBytes = 64 << 20
 
-// maxStreamLineBytes bounds one NDJSON chunk line on /v1/stream.
+// maxStreamLineBytes bounds one NDJSON chunk line on /v1/stream. (Binary
+// stream chunks are bounded per frame by wire.MaxFrameSamples instead.)
 const maxStreamLineBytes = 8 << 20
+
+// maxClassifySamples bounds the decoded lead of one /v1/classify request
+// (~3 hours of one 360 Hz lead). The JSON path is implicitly bounded by
+// maxClassifyBytes (≥2 body bytes per sample), but width-1 delta frames
+// decode at ~1 byte per sample, so the binary path needs its own sample
+// bound or a 64 MiB body could expand to a quarter-gigabyte lead.
+const maxClassifySamples = 4 << 20
 
 // HandlerConfig tunes the handler; the zero value is the serving default.
 type HandlerConfig struct {
 	// MaxUploadBytes bounds a POST /v1/models body; default
 	// core.MaxModelBytes (the codec's own ceiling).
 	MaxUploadBytes int64
+	// StdlibJSON routes the data paths' JSON codecs through encoding/json
+	// instead of internal/wire — the A/B baseline the serve benchmarks and
+	// the codec-equivalence tests compare against. The wire format is
+	// identical either way; only cost differs. Off (fast path) by default.
+	StdlibJSON bool
 }
 
 type server struct {
-	eng       *pipeline.Engine
-	maxUpload int64
+	eng        *pipeline.Engine
+	maxUpload  int64
+	stdlibJSON bool
 	// scratch pools the per-request working buffers of /v1/classify: the
-	// millivolt conversion, the morphological filter and wavelet-detector
-	// buffers, the per-beat classification scratch and the response beat
-	// slices are all reused across requests instead of allocated per call,
-	// so a steady request rate holds a steady working set (the whole batch
-	// path is O(1) allocations on a warm scratch).
+	// request body bytes, the decoded sample slice, the millivolt
+	// conversion, the morphological filter and wavelet-detector buffers,
+	// the per-beat classification scratch and the encoded response are all
+	// reused across requests instead of allocated per call, so a steady
+	// request rate holds a steady working set (the whole batch path is
+	// O(1) allocations on a warm scratch).
 	scratch sync.Pool
+	// chunks pools /v1/stream's per-connection decoded-chunk slices.
+	chunks sync.Pool
 }
+
+// lineBufs pools the small response buffers behind writeErr and the
+// /v1/stream beat/summary/error lines, so steady-state serving writes
+// without allocating encoder state per line.
+var lineBufs = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
 
 // NewHandler builds the HTTP handler serving the engine's model catalog:
 // the data endpoints (POST /v1/classify, POST /v1/stream), the admin
 // endpoints (GET|POST /v1/models, GET|DELETE /v1/models/{ref},
 // PUT /v1/default) and GET /healthz.
 func NewHandler(eng *pipeline.Engine, cfg HandlerConfig) http.Handler {
-	s := &server{eng: eng, maxUpload: cfg.MaxUploadBytes}
+	s := &server{eng: eng, maxUpload: cfg.MaxUploadBytes, stdlibJSON: cfg.StdlibJSON}
 	if s.maxUpload <= 0 {
 		s.maxUpload = core.MaxModelBytes
 	}
 	s.scratch.New = func() any { return new(classifyScratch) }
+	s.chunks.New = func() any { b := make([]int32, 0, 1024); return &b }
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("GET /v1/models", s.listModels)
@@ -104,10 +143,14 @@ func NewHandler(eng *pipeline.Engine, cfg HandlerConfig) http.Handler {
 	return mux
 }
 
-// classifyScratch is one request's reusable buffer set.
+// classifyScratch is one request's reusable buffer set. The decoded sample
+// slice lives in batch.Samples (pipeline.BatchScratch carries the whole
+// request working set).
 type classifyScratch struct {
+	body  []byte // raw request body bytes
 	batch pipeline.BatchScratch
-	beats []Beat
+	resp  []byte // encoded response (fast path)
+	beats []Beat // response beat objects (stdlib path)
 }
 
 // ErrorResponse is the uniform JSON error body of every endpoint.
@@ -116,10 +159,28 @@ type ErrorResponse struct {
 }
 
 // writeErr renders any error as the typed JSON body, coercing untyped ones
-// through apierr.From.
+// through apierr.From. The body is built by wire.AppendError in a pooled
+// buffer — byte-identical to the json.Encoder rendering of ErrorResponse,
+// without the per-error encoder allocations.
 func writeErr(w http.ResponseWriter, err error) {
 	ae := apierr.From(err)
-	writeJSON(w, ae.HTTPStatus(), ErrorResponse{Error: *ae})
+	bp := lineBufs.Get().(*[]byte)
+	buf := wire.AppendError((*bp)[:0], string(ae.Code), ae.Message)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.HTTPStatus())
+	w.Write(buf)
+	*bp = buf[:0]
+	lineBufs.Put(bp)
+}
+
+// wireErr maps an internal/wire decode failure onto the apierr contract:
+// an oversized frame is payload_too_large, everything else (syntax errors,
+// malformed frames) is the client's bad_input.
+func wireErr(err error) error {
+	if errors.Is(err, wire.ErrFrameTooLarge) {
+		return apierr.New(apierr.CodePayloadTooLarge, "%v", err)
+	}
+	return apierr.New(apierr.CodeBadInput, "%v", err)
 }
 
 func (s *server) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
@@ -277,9 +338,10 @@ func (s *server) setDefault(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"default": req.Model})
 }
 
-// ClassifyRequest is the POST /v1/classify body: one lead of raw ADC
+// ClassifyRequest is the POST /v1/classify JSON body: one lead of raw ADC
 // samples, classified as a whole record against the referenced model (the
-// catalog default when Model is empty).
+// catalog default when Model is empty). With the binary content type the
+// body is wire frames instead and the model is referenced with ?model=.
 type ClassifyRequest struct {
 	Model   string  `json:"model,omitempty"` // catalog reference: name or name@vN
 	Samples []int32 `json:"samples"`
@@ -302,34 +364,115 @@ type ClassifyResponse struct {
 	Beats  []Beat         `json:"beats"`
 }
 
-func (s *server) classify(w http.ResponseWriter, r *http.Request) {
-	var req ClassifyRequest
-	body := http.MaxBytesReader(w, r.Body, maxClassifyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+// readBody reads the whole request body into buf[:0], MaxBytesReader
+// violations and all — io.ReadAll without the fresh allocation per request.
+func readBody(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// decodeClassifyRequest reads and decodes a /v1/classify body per the
+// negotiated content type into the request scratch, returning the model
+// reference and the decoded lead (aliasing sc.batch.Samples).
+func (s *server) decodeClassifyRequest(sc *classifyScratch, r *http.Request, body io.Reader) (string, []int32, error) {
+	var err error
+	sc.body, err = readBody(sc.body, body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, apierr.New(apierr.CodePayloadTooLarge, "request exceeds %d bytes", tooBig.Limit))
-			return
+			return "", nil, apierr.New(apierr.CodePayloadTooLarge, "request exceeds %d bytes", tooBig.Limit)
 		}
-		writeErr(w, apierr.New(apierr.CodeBadInput, "bad request body: %v", err))
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			return "", nil, ctxErr // canceled/timed out, not the client's body
+		}
+		// Anything else mid-body (malformed chunked encoding, aborted
+		// upload) is the client's fault, as the old decoder path reported.
+		return "", nil, apierr.New(apierr.CodeBadInput, "reading request body: %v", err)
+	}
+	model := ""
+	switch {
+	case wire.IsSampleContentType(r.Header.Get("Content-Type")):
+		sc.batch.Samples = sc.batch.Samples[:0]
+		data := sc.body
+		for len(data) > 0 {
+			sc.batch.Samples, data, err = wire.DecodeFrame(sc.batch.Samples, data)
+			if err != nil {
+				return "", nil, wireErr(err)
+			}
+			if len(sc.batch.Samples) > maxClassifySamples {
+				return "", nil, apierr.New(apierr.CodePayloadTooLarge,
+					"record exceeds %d samples", maxClassifySamples)
+			}
+		}
+	case s.stdlibJSON:
+		req := ClassifyRequest{Samples: sc.batch.Samples[:0]}
+		if err := json.Unmarshal(sc.body, &req); err != nil {
+			return "", nil, apierr.New(apierr.CodeBadInput, "bad request body: %v", err)
+		}
+		model, sc.batch.Samples = req.Model, req.Samples
+	default:
+		model, sc.batch.Samples, err = wire.ParseClassify(sc.batch.Samples, sc.body)
+		if err != nil {
+			return "", nil, wireErr(err)
+		}
+	}
+	if model == "" {
+		// The binary transport has no body field for the model; a ?model=
+		// query reference works for every content type.
+		model = r.URL.Query().Get("model")
+	}
+	return model, sc.batch.Samples, nil
+}
+
+func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	sc := s.scratch.Get().(*classifyScratch)
+	defer s.scratch.Put(sc)
+	model, samples, err := s.decodeClassifyRequest(sc, r, http.MaxBytesReader(w, r.Body, maxClassifyBytes))
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
-	if len(req.Samples) == 0 {
+	if len(samples) == 0 {
 		writeErr(w, apierr.New(apierr.CodeBadInput, "no samples"))
 		return
 	}
-	entry, err := s.snapshot().Resolve(req.Model)
+	entry, err := s.snapshot().Resolve(model)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	sc := s.scratch.Get().(*classifyScratch)
-	defer s.scratch.Put(sc)
-	beats, err := pipeline.BatchClassifyInto(r.Context(), entry.Emb, req.Samples, pipeline.Config{}, &sc.batch)
+	beats, err := pipeline.BatchClassifyInto(r.Context(), entry.Emb, samples, pipeline.Config{}, &sc.batch)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	if s.stdlibJSON {
+		s.writeClassifyStdlib(w, sc, entry.Manifest.Ref(), beats)
+		return
+	}
+	// The response is encoded before the deferred Put, so the pooled
+	// buffers are never aliased by a live request.
+	sc.resp = wire.AppendClassifyResponse(sc.resp[:0], entry.Manifest.Ref(), beats)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.resp)
+}
+
+// writeClassifyStdlib is the encoding/json response path (the A/B
+// baseline): the historical Beat-slice + map rendering through json.Encoder.
+func (s *server) writeClassifyStdlib(w http.ResponseWriter, sc *classifyScratch, ref string, beats []pipeline.BeatResult) {
 	if sc.beats == nil {
 		sc.beats = []Beat{} // encode as [], never null
 	}
@@ -337,17 +480,15 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	for _, b := range beats {
 		sc.beats = append(sc.beats, Beat{Sample: b.Peak, Class: b.Decision.String()})
 	}
-	// The response is encoded before the deferred Put, so the pooled beat
-	// slice is never aliased by a live request.
-	resp := ClassifyResponse{
-		Model: entry.Manifest.Ref(), Total: len(beats),
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Model: ref, Total: len(beats),
 		Counts: countDecisions(beats), Beats: sc.beats,
-	}
-	writeJSON(w, http.StatusOK, resp)
+	})
 }
 
 // StreamChunk is one NDJSON request line of POST /v1/stream: the next batch
-// of raw ADC samples of the patient stream.
+// of raw ADC samples of the patient stream. With the binary content type
+// each wire frame is one chunk instead.
 type StreamChunk struct {
 	Samples []int32 `json:"samples"`
 }
@@ -370,7 +511,26 @@ type StreamDone struct {
 	Samples int    `json:"samples"`
 }
 
-// stream is the chunked NDJSON path: each request is one patient stream,
+// decodeChunkLine decodes one NDJSON chunk line into buf[:0] through the
+// configured JSON codec (wire fast parser, or encoding/json as the A/B
+// baseline — both reuse buf's backing array across lines, so steady-state
+// chunk decoding never reallocates).
+func (s *server) decodeChunkLine(buf []int32, line []byte) ([]int32, error) {
+	if s.stdlibJSON {
+		chunk := StreamChunk{Samples: buf[:0]}
+		if err := json.Unmarshal(line, &chunk); err != nil {
+			return buf, apierr.New(apierr.CodeBadInput, "bad chunk: %v", err)
+		}
+		return chunk.Samples, nil
+	}
+	out, err := wire.ParseChunk(buf, line)
+	if err != nil {
+		return out, apierr.New(apierr.CodeBadInput, "bad chunk: %v", err)
+	}
+	return out, nil
+}
+
+// stream is the chunked streaming path: each request is one patient stream,
 // classified online by the engine's worker pool while the request body is
 // still being read. The stream is opened against the catalog snapshot at
 // request start and keeps its model version for the whole request, however
@@ -385,32 +545,55 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// wmu guards the response writer, the lazily-written header and the
-	// stopped gate. stopped cuts the sink off once the handler is done with
-	// the stream: on a clean Close the engine has already drained every
-	// beat, but when Close fails during engine shutdown, queued chunks may
-	// still reach the sink after this handler returned — checking the gate
-	// under the same lock that covers the writes makes "no sink writes
-	// outlive the handler" airtight, not just likely.
+	// wmu guards the response writer, the lazily-written header, the shared
+	// line buffer and the stopped gate. stopped cuts the sink off once the
+	// handler is done with the stream: on a clean Close the engine has
+	// already drained every beat, but when Close fails during engine
+	// shutdown, queued chunks may still reach the sink after this handler
+	// returned — checking the gate under the same lock that covers the
+	// writes makes "no sink writes outlive the handler" airtight, not just
+	// likely.
 	var (
 		wmu           sync.Mutex
 		headerWritten bool
 		stopped       bool
 	)
-	enc := json.NewEncoder(w)
+	// The response lines (beat bursts, errors, the final summary) are
+	// encoded into one pooled buffer, one Write per burst; all access is
+	// under wmu. The buffer returns to the pool only after the stopped gate
+	// closes, so a late sink call can never touch a recycled buffer.
+	bp := lineBufs.Get().(*[]byte)
+	lineBuf := *bp
+	var enc *json.Encoder
+	if s.stdlibJSON {
+		enc = json.NewEncoder(w)
+	}
+	defer func() {
+		wmu.Lock()
+		stopped = true
+		*bp = lineBuf[:0]
+		wmu.Unlock()
+		lineBufs.Put(bp)
+	}()
+
 	// ensureHeaderLocked makes the first body write carry the NDJSON
 	// content type. Callers hold wmu.
 	ensureHeaderLocked := func() {
 		if !headerWritten {
 			headerWritten = true
-			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("Content-Type", wire.ContentTypeNDJSON)
 		}
 	}
-	writeLine := func(v any) {
+	writeDone := func(d StreamDone) {
 		wmu.Lock()
 		defer wmu.Unlock()
 		ensureHeaderLocked()
-		enc.Encode(v)
+		if enc != nil {
+			enc.Encode(d)
+		} else {
+			lineBuf = wire.AppendStreamDone(lineBuf[:0], d.Model, d.Beats, d.Samples)
+			w.Write(lineBuf)
+		}
 		rc.Flush()
 	}
 	// streamErr renders a typed error: as a plain status+body when nothing
@@ -422,11 +605,11 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 		defer wmu.Unlock()
 		if !headerWritten {
 			headerWritten = true
-			writeJSON(w, ae.HTTPStatus(), ErrorResponse{Error: *ae})
-			rc.Flush()
-			return
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(ae.HTTPStatus())
 		}
-		enc.Encode(ErrorResponse{Error: *ae})
+		lineBuf = wire.AppendError(lineBuf[:0], string(ae.Code), ae.Message)
+		w.Write(lineBuf)
 		rc.Flush()
 	}
 	markStopped := func() {
@@ -444,8 +627,16 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			ensureHeaderLocked()
-			for _, b := range res {
-				enc.Encode(StreamBeat{Sample: b.Peak, Class: b.Decision.String(), DetectedAt: b.DetectedAt})
+			if enc != nil {
+				for _, b := range res {
+					enc.Encode(StreamBeat{Sample: b.Peak, Class: b.Decision.String(), DetectedAt: b.DetectedAt})
+				}
+			} else {
+				lineBuf = lineBuf[:0]
+				for _, b := range res {
+					lineBuf = wire.AppendStreamBeat(lineBuf, b.Peak, b.Decision.String(), b.DetectedAt)
+				}
+				w.Write(lineBuf)
 			}
 			rc.Flush()
 			beats += len(res) // sink calls are serialized per stream
@@ -463,32 +654,70 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 		streamErr(err)
 	}
 
+	// The decoded-chunk slice is pooled across connections and reused
+	// across every chunk of this one.
+	cp := s.chunks.Get().(*[]int32)
+	chunkBuf := *cp
+	defer func() {
+		*cp = chunkBuf[:0]
+		s.chunks.Put(cp)
+	}()
+
 	samples := 0
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64*1024), maxStreamLineBytes)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	if wire.IsSampleContentType(r.Header.Get("Content-Type")) {
+		// Binary uplink: one wire frame per chunk.
+		fr := wire.NewFrameReader(r.Body)
+		for {
+			var err error
+			chunkBuf, err = fr.Next(chunkBuf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Only typed decode failures are the client's bad_input;
+				// transport errors (disconnect, cancellation) keep their
+				// own classification, as the NDJSON scanner path does.
+				var fe *wire.FrameError
+				if errors.As(err, &fe) || errors.Is(err, wire.ErrFrameTooLarge) {
+					err = wireErr(err)
+				}
+				abort(err)
+				return
+			}
+			samples += len(chunkBuf)
+			if err := s.sendWithBackpressure(r, st, chunkBuf); err != nil {
+				abort(err)
+				return
+			}
 		}
-		var chunk StreamChunk
-		if err := json.Unmarshal(line, &chunk); err != nil {
-			abort(apierr.New(apierr.CodeBadInput, "bad chunk: %v", err))
-			return
+	} else {
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 64*1024), maxStreamLineBytes)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var err error
+			chunkBuf, err = s.decodeChunkLine(chunkBuf, line)
+			if err != nil {
+				abort(err)
+				return
+			}
+			samples += len(chunkBuf)
+			if err := s.sendWithBackpressure(r, st, chunkBuf); err != nil {
+				abort(err)
+				return
+			}
 		}
-		samples += len(chunk.Samples)
-		if err := s.sendWithBackpressure(r, st, chunk.Samples); err != nil {
+		if err := sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				err = apierr.New(apierr.CodePayloadTooLarge,
+					"stream line exceeds %d bytes", maxStreamLineBytes)
+			}
 			abort(err)
 			return
 		}
-	}
-	if err := sc.Err(); err != nil {
-		if errors.Is(err, bufio.ErrTooLong) {
-			err = apierr.New(apierr.CodePayloadTooLarge,
-				"stream line exceeds %d bytes", maxStreamLineBytes)
-		}
-		abort(err)
-		return
 	}
 	// Close drains the pipeline; every remaining beat hits the sink before
 	// it returns, so the summary line is genuinely last.
@@ -498,7 +727,7 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	markStopped()
-	writeLine(StreamDone{Done: true, Model: model, Beats: beats, Samples: samples})
+	writeDone(StreamDone{Done: true, Model: model, Beats: beats, Samples: samples})
 }
 
 // sendWithBackpressure forwards one chunk to the stream, converting the
@@ -549,6 +778,8 @@ func countDecisions(beats []pipeline.BeatResult) map[string]int {
 	return counts
 }
 
+// writeJSON renders an admin-surface success body through encoding/json
+// (those endpoints are cold; the data paths use internal/wire instead).
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/catalog"
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/pipeline"
+	"rpbeat/internal/wire"
+)
+
+// testServerWith boots a handler with an explicit HandlerConfig over the
+// shared trained model.
+func testServerWith(t *testing.T, cfg HandlerConfig) *httptest.Server {
+	t.Helper()
+	m, _ := testTrainedModel(t)
+	cat := catalog.New()
+	if _, err := cat.Put("default", m, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: 2})
+	ts := httptest.NewServer(NewHandler(eng, cfg))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return ts
+}
+
+func postBody(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestClassifyBinaryMatchesJSON: the same record through the JSON body and
+// through binary wire frames must produce byte-identical responses.
+func TestClassifyBinaryMatchesJSON(t *testing.T) {
+	ts, _, _ := testServer(t)
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "wb", Seconds: 30, Seed: 5, PVCRate: 0.1}).Leads[0]
+
+	jsonBody, _ := json.Marshal(ClassifyRequest{Samples: lead})
+	st1, resp1 := postBody(t, ts.URL+"/v1/classify", "application/json", jsonBody)
+	if st1 != http.StatusOK {
+		t.Fatalf("json classify: %d: %s", st1, resp1)
+	}
+
+	binBody := wire.AppendFrames(nil, lead, 1024)
+	if len(binBody)*3 > len(jsonBody) {
+		t.Fatalf("binary body %d bytes vs json %d: expected at least 3x compaction", len(binBody), len(jsonBody))
+	}
+	st2, resp2 := postBody(t, ts.URL+"/v1/classify", wire.ContentTypeSamples, binBody)
+	if st2 != http.StatusOK {
+		t.Fatalf("binary classify: %d: %s", st2, resp2)
+	}
+	if !bytes.Equal(resp1, resp2) {
+		t.Fatalf("binary and JSON responses differ:\njson   %s\nbinary %s", resp1, resp2)
+	}
+
+	var got ClassifyResponse
+	if err := json.Unmarshal(resp2, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total == 0 || got.Model != "default@v1" {
+		t.Fatalf("binary classify response: %+v", got)
+	}
+
+	// ?model= selects the model for the binary transport (no body field).
+	st3, resp3 := postBody(t, ts.URL+"/v1/classify?model=default@v1", wire.ContentTypeSamples, binBody)
+	if st3 != http.StatusOK || !bytes.Equal(resp3, resp2) {
+		t.Fatalf("?model= binary classify: %d", st3)
+	}
+	st4, resp4 := postBody(t, ts.URL+"/v1/classify?model=nope", wire.ContentTypeSamples, binBody)
+	if st4 != http.StatusNotFound {
+		t.Fatalf("unknown model over binary: %d: %s", st4, resp4)
+	}
+}
+
+// TestStreamBinaryMatchesNDJSON: the same chunk sequence as NDJSON lines
+// and as binary frames must produce byte-identical response streams.
+func TestStreamBinaryMatchesNDJSON(t *testing.T) {
+	ts, _, _ := testServer(t)
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "ws", Seconds: 30, Seed: 6, PVCRate: 0.1}).Leads[0]
+
+	var ndjson, frames []byte
+	for off := 0; off < len(lead); off += 360 {
+		end := min(off+360, len(lead))
+		line, _ := json.Marshal(StreamChunk{Samples: lead[off:end]})
+		ndjson = append(append(ndjson, line...), '\n')
+		var err error
+		frames, err = wire.AppendFrame(frames, lead[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(frames)*3 > len(ndjson) {
+		t.Fatalf("binary stream %d bytes vs ndjson %d: expected at least 3x compaction", len(frames), len(ndjson))
+	}
+
+	st1, resp1 := postBody(t, ts.URL+"/v1/stream", "application/x-ndjson", ndjson)
+	st2, resp2 := postBody(t, ts.URL+"/v1/stream", wire.ContentTypeSamples, frames)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("stream statuses: ndjson %d, binary %d", st1, st2)
+	}
+	if !bytes.Equal(resp1, resp2) {
+		t.Fatalf("stream responses differ:\nndjson %s\nbinary %s", resp1, resp2)
+	}
+	var done StreamDone
+	lines := bytes.Split(bytes.TrimSpace(resp2), []byte("\n"))
+	if err := json.Unmarshal(lines[len(lines)-1], &done); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done || done.Samples != len(lead) || done.Beats == 0 {
+		t.Fatalf("binary stream summary: %+v", done)
+	}
+}
+
+// TestStreamBinaryBadFrame: malformed and oversized frames surface as the
+// typed error contract.
+func TestStreamBinaryBadFrame(t *testing.T) {
+	ts, _, _ := testServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/stream", wire.ContentTypeSamples, bytes.NewReader([]byte("XXXXjunk.....")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
+	// A declared count beyond MaxFrameSamples: rejected before allocation.
+	huge := []byte{'R', 'P', 'B', 'S', 1, 4, 0xff, 0xff, 0xff, 0xff}
+	resp, err = http.Post(ts.URL+"/v1/stream", wire.ContentTypeSamples, bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusRequestEntityTooLarge, apierr.CodePayloadTooLarge)
+
+	// Truncated mid-frame: typed bad_input, not a hang or a panic.
+	good, _ := wire.AppendFrame(nil, []int32{1, 2, 3, 4})
+	resp, err = http.Post(ts.URL+"/v1/classify", wire.ContentTypeSamples, bytes.NewReader(good[:len(good)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+
+	// A body of individually-legal frames that decodes past the per-request
+	// sample bound: width-1 delta frames expand ~4x beyond what the same
+	// bytes could carry as JSON, so the sample count is bounded directly —
+	// the decode loop stops at the first frame over the limit.
+	flat := make([]int32, 1<<20)
+	var big []byte
+	for i := 0; i < 5; i++ { // 5 Mi samples > maxClassifySamples (4 Mi)
+		if big, err = wire.AppendFrame(big, flat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = http.Post(ts.URL+"/v1/classify", wire.ContentTypeSamples, bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPIError(t, resp, http.StatusRequestEntityTooLarge, apierr.CodePayloadTooLarge)
+}
+
+// TestCodecEquivalenceStdlibVsFast drives identical requests through a fast
+// handler and a StdlibJSON handler: every success response — batch and
+// stream — must be byte-identical, and every failure must carry the same
+// status and machine-readable code (messages may differ: each codec reports
+// its own diagnostics). This is the A/B guarantee that makes the fast codec
+// invisible on the wire.
+func TestCodecEquivalenceStdlibVsFast(t *testing.T) {
+	fast := testServerWith(t, HandlerConfig{})
+	std := testServerWith(t, HandlerConfig{StdlibJSON: true})
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "ab", Seconds: 20, Seed: 9, PVCRate: 0.2}).Leads[0]
+
+	classifyBody, _ := json.Marshal(ClassifyRequest{Model: "default", Samples: lead})
+	var ndjson []byte
+	for off := 0; off < len(lead); off += 512 {
+		end := min(off+512, len(lead))
+		line, _ := json.Marshal(StreamChunk{Samples: lead[off:end]})
+		ndjson = append(append(ndjson, line...), '\n')
+	}
+	cases := []struct {
+		name, path, ct string
+		body           []byte
+	}{
+		{"classify", "/v1/classify", "application/json", classifyBody},
+		{"classify with whitespace", "/v1/classify", "application/json",
+			[]byte(" {\n\t\"samples\" : [ 1017 , 1020, 1013, 998, 1004, 1011, 1002, 997, 1003, 1008," +
+				" 1017 , 1020, 1013, 998, 1004, 1011, 1002, 997, 1003, 1008 ] } ")},
+		{"classify folded keys", "/v1/classify", "application/json",
+			[]byte(`{"SAMPLES":[1017,1020,1013,998,1004,1011,1002,997,1003,1008],"MODEL":"default"}`)},
+		{"classify bad json", "/v1/classify", "application/json", []byte(`{"samples":[1,}`)},
+		{"classify float sample", "/v1/classify", "application/json", []byte(`{"samples":[1.5]}`)},
+		{"classify no samples", "/v1/classify", "application/json", []byte(`{"samples":[]}`)},
+		{"classify unknown model", "/v1/classify", "application/json", []byte(`{"model":"nope","samples":[1,2,3]}`)},
+		{"stream", "/v1/stream", "application/x-ndjson", ndjson},
+		{"stream bad chunk", "/v1/stream", "application/x-ndjson", []byte("{\"samples\":[1,2]}\nnot json\n")},
+	}
+	for _, c := range cases {
+		stF, respF := postBody(t, fast.URL+c.path, c.ct, c.body)
+		stS, respS := postBody(t, std.URL+c.path, c.ct, c.body)
+		if stF != stS {
+			t.Fatalf("%s: status fast %d != stdlib %d", c.name, stF, stS)
+		}
+		if stF == http.StatusOK && !bytes.HasPrefix(respF, []byte(`{"error"`)) {
+			// Success bodies must match byte for byte.
+			if !bytes.Equal(respF, respS) {
+				t.Fatalf("%s: responses differ:\nfast   %s\nstdlib %s", c.name, respF, respS)
+			}
+			continue
+		}
+		// Error bodies carry codec-specific diagnostics in the message;
+		// the machine-readable contract (the code) must agree.
+		var errF, errS ErrorResponse
+		lastF := respF[bytes.LastIndexByte(bytes.TrimSpace(respF), '\n')+1:]
+		lastS := respS[bytes.LastIndexByte(bytes.TrimSpace(respS), '\n')+1:]
+		if err := json.Unmarshal(lastF, &errF); err != nil {
+			t.Fatalf("%s: fast error body %s: %v", c.name, respF, err)
+		}
+		if err := json.Unmarshal(lastS, &errS); err != nil {
+			t.Fatalf("%s: stdlib error body %s: %v", c.name, respS, err)
+		}
+		if errF.Error.Code != errS.Error.Code {
+			t.Fatalf("%s: error code fast %q != stdlib %q", c.name, errF.Error.Code, errS.Error.Code)
+		}
+	}
+}
+
+// TestDecodeChunkLineReusesBuffer pins the satellite contract directly on
+// the handler's chunk decoder: across NDJSON lines the decoded samples
+// reuse one backing array (both codecs), and the fast path decodes a warm
+// line with zero allocations.
+func TestDecodeChunkLineReusesBuffer(t *testing.T) {
+	lines := [][]byte{
+		[]byte(`{"samples":[1017,1020,1013,998]}`),
+		[]byte(`{"samples":[1,2,3,4,5,6,7,8]}`),
+		[]byte(`{"samples":[-5]}`),
+	}
+	for _, stdlib := range []bool{false, true} {
+		s := &server{stdlibJSON: stdlib}
+		buf := make([]int32, 0, 64)
+		base := &buf[:1][0]
+		for round := 0; round < 10; round++ {
+			for _, line := range lines {
+				var err error
+				buf, err = s.decodeChunkLine(buf, line)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if &buf[:1][0] != base {
+			t.Fatalf("stdlib=%v: chunk slice was reallocated across lines", stdlib)
+		}
+	}
+
+	s := &server{}
+	buf := make([]int32, 0, 64)
+	line := lines[0]
+	var decErr error
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, decErr = s.decodeChunkLine(buf, line)
+	})
+	if decErr != nil {
+		t.Fatal(decErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("fast decodeChunkLine allocates %.1f/op on a warm buffer, want 0", allocs)
+	}
+}
+
+// TestStreamServeRowZeroAlloc is the stream serve row's invariant end to
+// end above HTTP: decoding a chunk line through the handler's codec and
+// pushing it through an engine stream — the whole per-chunk serving path
+// between the socket and the classifier — allocates nothing at steady
+// state (worker-side allocations included; AllocsPerRun counts globally).
+func TestStreamServeRowZeroAlloc(t *testing.T) {
+	m, _ := testTrainedModel(t)
+	cat := catalog.New()
+	if _, err := cat.Put("m", m, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+	st, err := eng.Open(ctx, "m", pipeline.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "za", Seconds: 60, Seed: 3, PVCRate: 0.1}).Leads[0]
+	var lines [][]byte
+	for off := 0; off+360 <= len(lead); off += 360 {
+		line, _ := json.Marshal(StreamChunk{Samples: lead[off : off+360]})
+		lines = append(lines, line)
+	}
+	srv := &server{}
+	buf := make([]int32, 0, 512)
+	drain := func() {
+		for st.PendingSamples() > 0 {
+			runtime.Gosched()
+		}
+	}
+	// Warm-up: a full pass grows every ring, FIFO and pool to steady state.
+	for _, line := range lines {
+		if buf, err = srv.decodeChunkLine(buf, line); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Send(ctx, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain()
+
+	next := 0
+	var loopErr error
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 5; i++ {
+			buf, loopErr = srv.decodeChunkLine(buf, lines[next])
+			if loopErr != nil {
+				return
+			}
+			if loopErr = st.Send(ctx, buf); loopErr != nil {
+				return
+			}
+			next = (next + 1) % len(lines)
+			drain()
+		}
+	})
+	if loopErr != nil {
+		t.Fatal(loopErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state stream serving allocated %.1f times per 5 chunks, want 0", allocs)
+	}
+}

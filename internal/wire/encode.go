@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"strconv"
+	"unicode/utf8"
+
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/pipeline"
+)
+
+// The append-style response encoders. Each produces exactly the bytes the
+// stdlib path (json.NewEncoder(w).Encode(v) on the serving layer's response
+// structs) would produce — including the HTML escaping encoding/json applies
+// by default and the trailing newline Encode writes — so switching a handler
+// between the stdlib and the fast encoder is invisible on the wire. The
+// equivalence is enforced byte-for-byte by the encode tests.
+
+// AppendStreamBeat appends one /v1/stream beat line:
+// {"sample":S,"class":"C","detectedAt":D}\n.
+func AppendStreamBeat(buf []byte, sample int, class string, detectedAt int) []byte {
+	buf = append(buf, `{"sample":`...)
+	buf = strconv.AppendInt(buf, int64(sample), 10)
+	buf = append(buf, `,"class":`...)
+	buf = AppendString(buf, class)
+	buf = append(buf, `,"detectedAt":`...)
+	buf = strconv.AppendInt(buf, int64(detectedAt), 10)
+	return append(buf, '}', '\n')
+}
+
+// AppendStreamDone appends the final /v1/stream summary line:
+// {"done":true,"model":"M","beats":B,"samples":S}\n.
+func AppendStreamDone(buf []byte, model string, beats, samples int) []byte {
+	buf = append(buf, `{"done":true,"model":`...)
+	buf = AppendString(buf, model)
+	buf = append(buf, `,"beats":`...)
+	buf = strconv.AppendInt(buf, int64(beats), 10)
+	buf = append(buf, `,"samples":`...)
+	buf = strconv.AppendInt(buf, int64(samples), 10)
+	return append(buf, '}', '\n')
+}
+
+// AppendError appends the uniform typed error body every endpoint renders:
+// {"error":{"code":"C","message":"M"}}\n.
+func AppendError(buf []byte, code, message string) []byte {
+	buf = append(buf, `{"error":{"code":`...)
+	buf = AppendString(buf, code)
+	buf = append(buf, `,"message":`...)
+	buf = AppendString(buf, message)
+	return append(buf, '}', '}', '\n')
+}
+
+// AppendClassifyResponse appends the whole /v1/classify success body for a
+// classified record: resolved model, total, the per-class counts (all four
+// classes, keys in sorted order — what encoding/json emits for the counts
+// map) and one object per beat.
+func AppendClassifyResponse(buf []byte, model string, beats []pipeline.BeatResult) []byte {
+	var counts [4]int64 // indexed by nfc.Decision (N, L, V, U)
+	for _, b := range beats {
+		counts[b.Decision]++
+	}
+	buf = append(buf, `{"model":`...)
+	buf = AppendString(buf, model)
+	buf = append(buf, `,"total":`...)
+	buf = strconv.AppendInt(buf, int64(len(beats)), 10)
+	// Sorted key order, as the stdlib encodes map[string]int.
+	buf = append(buf, `,"counts":{"L":`...)
+	buf = strconv.AppendInt(buf, counts[nfc.DecideL], 10)
+	buf = append(buf, `,"N":`...)
+	buf = strconv.AppendInt(buf, counts[nfc.DecideN], 10)
+	buf = append(buf, `,"U":`...)
+	buf = strconv.AppendInt(buf, counts[nfc.DecideU], 10)
+	buf = append(buf, `,"V":`...)
+	buf = strconv.AppendInt(buf, counts[nfc.DecideV], 10)
+	buf = append(buf, `},"beats":[`...)
+	for i, b := range beats {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"sample":`...)
+		buf = strconv.AppendInt(buf, int64(b.Peak), 10)
+		buf = append(buf, `,"class":`...)
+		buf = AppendString(buf, b.Decision.String())
+		buf = append(buf, '}')
+	}
+	return append(buf, ']', '}', '\n')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// AppendString appends the JSON encoding of s, byte-identical to
+// encoding/json's default encoder: quotes, backslash escapes, \u00XX for
+// control characters, HTML escaping of < > &, U+2028/U+2029 escaping, and
+// each invalid UTF-8 byte coerced to \ufffd.
+func AppendString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				buf = append(buf, '\\', b)
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}

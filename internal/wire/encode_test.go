@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/pipeline"
+	"rpbeat/internal/rng"
+)
+
+// The response types mirrored from internal/serve (field order and tags
+// must match — the handlers' stdlib path encodes exactly these shapes).
+type streamBeatBody struct {
+	Sample     int    `json:"sample"`
+	Class      string `json:"class"`
+	DetectedAt int    `json:"detectedAt"`
+}
+
+type streamDoneBody struct {
+	Done    bool   `json:"done"`
+	Model   string `json:"model"`
+	Beats   int    `json:"beats"`
+	Samples int    `json:"samples"`
+}
+
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+type beatBody struct {
+	Sample int    `json:"sample"`
+	Class  string `json:"class"`
+}
+
+type classifyRespBody struct {
+	Model  string         `json:"model"`
+	Total  int            `json:"total"`
+	Counts map[string]int `json:"counts"`
+	Beats  []beatBody     `json:"beats"`
+}
+
+// mustStdlib renders v the way the handlers' stdlib path does:
+// json.Encoder output, HTML-escaped, with the trailing newline.
+func mustStdlib(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+func TestAppendStreamBeatMatchesStdlib(t *testing.T) {
+	for _, b := range []streamBeatBody{
+		{Sample: 0, Class: "N", DetectedAt: 0},
+		{Sample: 12345, Class: "V", DetectedAt: 12399},
+		{Sample: -7, Class: `we"ird<class>&`, DetectedAt: 1 << 30},
+	} {
+		got := AppendStreamBeat(nil, b.Sample, b.Class, b.DetectedAt)
+		want := mustStdlib(t, b)
+		if string(got) != string(want) {
+			t.Fatalf("beat line:\nfast   %q\nstdlib %q", got, want)
+		}
+	}
+}
+
+func TestAppendStreamDoneMatchesStdlib(t *testing.T) {
+	b := streamDoneBody{Done: true, Model: "default@v1", Beats: 42, Samples: 21600}
+	got := AppendStreamDone(nil, b.Model, b.Beats, b.Samples)
+	if want := mustStdlib(t, b); string(got) != string(want) {
+		t.Fatalf("done line:\nfast   %q\nstdlib %q", got, want)
+	}
+}
+
+func TestAppendErrorMatchesStdlib(t *testing.T) {
+	var b errorBody
+	b.Error.Code = "bad_input"
+	b.Error.Message = "bad chunk: invalid request JSON at byte 3: expected \"x\" <&>\n"
+	got := AppendError(nil, b.Error.Code, b.Error.Message)
+	if want := mustStdlib(t, b); string(got) != string(want) {
+		t.Fatalf("error line:\nfast   %q\nstdlib %q", got, want)
+	}
+}
+
+func TestAppendClassifyResponseMatchesStdlib(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		beats := make([]pipeline.BeatResult, r.Intn(30))
+		for i := range beats {
+			beats[i] = pipeline.BeatResult{
+				Peak:       r.Intn(100000),
+				Decision:   nfc.Decision(r.Intn(4)),
+				DetectedAt: r.Intn(100000),
+			}
+		}
+		want := classifyRespBody{
+			Model: "default@v1", Total: len(beats),
+			Counts: map[string]int{"N": 0, "L": 0, "V": 0, "U": 0},
+			Beats:  make([]beatBody, 0, len(beats)),
+		}
+		for _, b := range beats {
+			want.Counts[b.Decision.String()]++
+			want.Beats = append(want.Beats, beatBody{Sample: b.Peak, Class: b.Decision.String()})
+		}
+		got := AppendClassifyResponse(nil, want.Model, beats)
+		if w := mustStdlib(t, want); string(got) != string(w) {
+			t.Fatalf("classify response (%d beats):\nfast   %s\nstdlib %s", len(beats), got, w)
+		}
+	}
+}
+
+// TestAppendStringMatchesStdlib fuzz-lite: random byte strings (valid and
+// invalid UTF-8, control chars, HTML chars, U+2028/U+2029) must encode
+// byte-identically to encoding/json.
+func TestAppendStringMatchesStdlib(t *testing.T) {
+	r := rng.New(77)
+	alphabet := []string{
+		"a", "Z", "0", `"`, `\`, "<", ">", "&", "\n", "\r", "\t", "\x00", "\x1f", "\x7f",
+		"é", "😀", "\u2028", "\u2029", "\xff", "\xc3", "\xed\xa0\x80", "中",
+	}
+	for trial := 0; trial < 2000; trial++ {
+		var s string
+		for n := r.Intn(12); n > 0; n-- {
+			s += alphabet[r.Intn(len(alphabet))]
+		}
+		got := AppendString(nil, s)
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("string %q:\nfast   %q\nstdlib %q", s, got, want)
+		}
+	}
+}
+
+// TestAppendStreamBeatZeroAlloc holds the per-line encoder to zero
+// allocations on a warm buffer — the response half of the stream serve
+// row's allocation invariant.
+func TestAppendStreamBeatZeroAlloc(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendStreamBeat(buf[:0], 54321, "V", 54390)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendStreamBeat allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkWireAppendStreamBeat(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendStreamBeat(buf[:0], 54321, "V", 54390)
+	}
+}

@@ -1,0 +1,539 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"unicode"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// SyntaxError is the typed rejection of the fast JSON parser: where in the
+// input it gave up and why. The serving layer renders it as bad_input.
+type SyntaxError struct {
+	Off int    // byte offset the parser stopped at
+	Msg string // what it expected or found
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("invalid request JSON at byte %d: %s", e.Off, e.Msg)
+}
+
+// maxNestingDepth bounds how deep skipped (unknown-key) values may nest.
+// Inputs deeper than this are rejected — strictly less than encoding/json
+// tolerates, which keeps the "fast success implies stdlib success"
+// equivalence direction intact while refusing stack-abuse payloads early.
+const maxNestingDepth = 512
+
+// ParseChunk parses one NDJSON chunk line of /v1/stream, {"samples":[...]},
+// appending the decoded samples into dst[:0] and returning the result (so a
+// reused dst makes steady-state parsing allocation-free). Unknown keys are
+// skipped, key matching is case-folded and duplicate keys last-win, exactly
+// as encoding/json unmarshals the same line into a struct with a "samples"
+// field. Anything the parser does not understand returns a *SyntaxError
+// describing the first offending byte; the returned slice still shares
+// dst's backing array on error, so pooled buffers survive bad requests.
+func ParseChunk(dst []int32, data []byte) ([]int32, error) {
+	_, samples, err := parseBody(dst, data, false)
+	return samples, err
+}
+
+// ParseClassify parses a /v1/classify JSON request body,
+// {"model":"...","samples":[...]}, with the same grammar and stdlib
+// equivalence as ParseChunk plus the optional model reference string (full
+// escape handling; the returned string is freshly allocated and safe to
+// retain after data is recycled).
+func ParseClassify(dst []int32, data []byte) (model string, samples []int32, err error) {
+	return parseBody(dst, data, true)
+}
+
+type jsonParser struct {
+	data []byte
+	i    int
+}
+
+func (p *jsonParser) errf(format string, args ...any) error {
+	return &SyntaxError{Off: p.i, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *jsonParser) skipWS() {
+	for p.i < len(p.data) {
+		switch p.data[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// lit consumes the exact literal s (true/false/null).
+func (p *jsonParser) lit(s string) error {
+	if len(p.data)-p.i < len(s) || string(p.data[p.i:p.i+len(s)]) != s {
+		return p.errf("invalid literal")
+	}
+	p.i += len(s)
+	return nil
+}
+
+// end asserts nothing but whitespace follows the top-level value.
+func (p *jsonParser) end() error {
+	p.skipWS()
+	if p.i != len(p.data) {
+		return p.errf("unexpected data after top-level value")
+	}
+	return nil
+}
+
+func parseBody(dst []int32, data []byte, wantModel bool) (string, []int32, error) {
+	p := jsonParser{data: data}
+	samples := dst[:0]
+	model := ""
+	p.skipWS()
+	if p.i >= len(p.data) {
+		return "", samples, p.errf("unexpected end of input")
+	}
+	// A top-level null is a no-op for encoding/json; mirror that.
+	if p.data[p.i] == 'n' {
+		if err := p.lit("null"); err != nil {
+			return "", samples, err
+		}
+		if err := p.end(); err != nil {
+			return "", samples, err
+		}
+		return model, samples, nil
+	}
+	if p.data[p.i] != '{' {
+		return "", samples, p.errf("expected an object")
+	}
+	p.i++
+	p.skipWS()
+	if p.i < len(p.data) && p.data[p.i] == '}' {
+		p.i++
+	} else {
+		for {
+			p.skipWS()
+			key, keyEsc, err := p.scanString()
+			if err != nil {
+				return "", samples, err
+			}
+			p.skipWS()
+			if p.i >= len(p.data) || p.data[p.i] != ':' {
+				return "", samples, p.errf("expected ':' after object key")
+			}
+			p.i++
+			p.skipWS()
+			switch {
+			case keyEquals(key, keyEsc, "samples"):
+				samples, err = p.parseSamples(samples)
+			case wantModel && keyEquals(key, keyEsc, "model"):
+				model, err = p.parseModel(model)
+			default:
+				err = p.skipValue(0)
+			}
+			if err != nil {
+				return "", samples, err
+			}
+			p.skipWS()
+			if p.i >= len(p.data) {
+				return "", samples, p.errf("unexpected end of object")
+			}
+			if c := p.data[p.i]; c == ',' {
+				p.i++
+				continue
+			} else if c == '}' {
+				p.i++
+				break
+			}
+			return "", samples, p.errf("expected ',' or '}' in object")
+		}
+	}
+	if err := p.end(); err != nil {
+		return "", samples, err
+	}
+	return model, samples, nil
+}
+
+// parseSamples parses the value of a "samples" key: an array of int32s
+// appended into dst[:0] (a repeated key re-decodes from scratch, last wins,
+// as the stdlib does) or null, which zeroes the slice — encoding/json sets
+// slice fields to nil on an explicit null (unlike string fields, which it
+// leaves untouched; parseModel mirrors that asymmetry).
+func (p *jsonParser) parseSamples(dst []int32) ([]int32, error) {
+	if p.i < len(p.data) && p.data[p.i] == 'n' {
+		return dst[:0], p.lit("null")
+	}
+	if p.i >= len(p.data) || p.data[p.i] != '[' {
+		return dst, p.errf("samples must be an array")
+	}
+	p.i++
+	dst = dst[:0]
+	p.skipWS()
+	if p.i < len(p.data) && p.data[p.i] == ']' {
+		p.i++
+		return dst, nil
+	}
+	for {
+		p.skipWS()
+		v, err := p.parseInt32()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+		p.skipWS()
+		if p.i >= len(p.data) {
+			return dst, p.errf("unexpected end of samples array")
+		}
+		switch p.data[p.i] {
+		case ',':
+			p.i++
+		case ']':
+			p.i++
+			return dst, nil
+		default:
+			return dst, p.errf("expected ',' or ']' in samples array")
+		}
+	}
+}
+
+// parseModel parses the value of a "model" key: a string (unescaped) or
+// null, which keeps the previous value — stdlib semantics for both.
+func (p *jsonParser) parseModel(prev string) (string, error) {
+	if p.i < len(p.data) && p.data[p.i] == 'n' {
+		return prev, p.lit("null")
+	}
+	raw, hasEsc, err := p.scanString()
+	if err != nil {
+		return prev, err
+	}
+	return unquote(raw, hasEsc), nil
+}
+
+// parseInt32 parses one integer sample with exactly the strictness
+// encoding/json applies when unmarshaling into an int32: JSON number
+// grammar, no fraction, no exponent, no leading zeros, in-range.
+func (p *jsonParser) parseInt32() (int32, error) {
+	neg := false
+	if p.i < len(p.data) && p.data[p.i] == '-' {
+		neg = true
+		p.i++
+	}
+	if p.i >= len(p.data) || p.data[p.i] < '0' || p.data[p.i] > '9' {
+		return 0, p.errf("expected an integer sample")
+	}
+	if p.data[p.i] == '0' && p.i+1 < len(p.data) && p.data[p.i+1] >= '0' && p.data[p.i+1] <= '9' {
+		return 0, p.errf("number has a leading zero")
+	}
+	var n int64
+	for p.i < len(p.data) && p.data[p.i] >= '0' && p.data[p.i] <= '9' {
+		n = n*10 + int64(p.data[p.i]-'0')
+		if n > 1<<31 {
+			return 0, p.errf("sample overflows int32")
+		}
+		p.i++
+	}
+	if p.i < len(p.data) {
+		switch p.data[p.i] {
+		case '.', 'e', 'E':
+			return 0, p.errf("sample is not an integer")
+		}
+	}
+	if neg {
+		n = -n
+	}
+	if n < math.MinInt32 || n > math.MaxInt32 {
+		return 0, p.errf("sample overflows int32")
+	}
+	return int32(n), nil
+}
+
+// scanString consumes a JSON string starting at the opening quote and
+// returns the raw (still escaped) content bytes plus whether any escape
+// occurred. Escape sequences are validated here; decoding happens in
+// unquote, only when a caller needs the value.
+func (p *jsonParser) scanString() ([]byte, bool, error) {
+	if p.i >= len(p.data) || p.data[p.i] != '"' {
+		return nil, false, p.errf("expected a string")
+	}
+	p.i++
+	start := p.i
+	hasEsc := false
+	for p.i < len(p.data) {
+		switch c := p.data[p.i]; {
+		case c == '"':
+			raw := p.data[start:p.i]
+			p.i++
+			return raw, hasEsc, nil
+		case c == '\\':
+			hasEsc = true
+			p.i++
+			if p.i >= len(p.data) {
+				return nil, false, p.errf("unexpected end of string")
+			}
+			switch p.data[p.i] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				p.i++
+			case 'u':
+				p.i++
+				for k := 0; k < 4; k++ {
+					if p.i >= len(p.data) || !isHex(p.data[p.i]) {
+						return nil, false, p.errf("invalid \\u escape")
+					}
+					p.i++
+				}
+			default:
+				return nil, false, p.errf("invalid escape character")
+			}
+		case c < 0x20:
+			return nil, false, p.errf("control character in string")
+		default:
+			p.i++
+		}
+	}
+	return nil, false, p.errf("unterminated string")
+}
+
+// skipValue consumes any JSON value with full grammar validation — the
+// skipped value must be something encoding/json would also have accepted,
+// so skipping an unknown key never lets a malformed body through.
+func (p *jsonParser) skipValue(depth int) error {
+	if depth > maxNestingDepth {
+		return p.errf("value nested deeper than %d levels", maxNestingDepth)
+	}
+	if p.i >= len(p.data) {
+		return p.errf("unexpected end of input")
+	}
+	switch c := p.data[p.i]; {
+	case c == '"':
+		_, _, err := p.scanString()
+		return err
+	case c == 't':
+		return p.lit("true")
+	case c == 'f':
+		return p.lit("false")
+	case c == 'n':
+		return p.lit("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.skipNumber()
+	case c == '[':
+		p.i++
+		p.skipWS()
+		if p.i < len(p.data) && p.data[p.i] == ']' {
+			p.i++
+			return nil
+		}
+		for {
+			p.skipWS()
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			p.skipWS()
+			if p.i >= len(p.data) {
+				return p.errf("unexpected end of array")
+			}
+			if p.data[p.i] == ',' {
+				p.i++
+				continue
+			}
+			if p.data[p.i] == ']' {
+				p.i++
+				return nil
+			}
+			return p.errf("expected ',' or ']' in array")
+		}
+	case c == '{':
+		p.i++
+		p.skipWS()
+		if p.i < len(p.data) && p.data[p.i] == '}' {
+			p.i++
+			return nil
+		}
+		for {
+			p.skipWS()
+			if _, _, err := p.scanString(); err != nil {
+				return err
+			}
+			p.skipWS()
+			if p.i >= len(p.data) || p.data[p.i] != ':' {
+				return p.errf("expected ':' after object key")
+			}
+			p.i++
+			p.skipWS()
+			if err := p.skipValue(depth + 1); err != nil {
+				return err
+			}
+			p.skipWS()
+			if p.i >= len(p.data) {
+				return p.errf("unexpected end of object")
+			}
+			if p.data[p.i] == ',' {
+				p.i++
+				continue
+			}
+			if p.data[p.i] == '}' {
+				p.i++
+				return nil
+			}
+			return p.errf("expected ',' or '}' in object")
+		}
+	default:
+		return p.errf("unexpected character %q", c)
+	}
+}
+
+// skipNumber consumes one number with the full JSON grammar (fractions and
+// exponents allowed — this is for skipped values, not samples).
+func (p *jsonParser) skipNumber() error {
+	if p.data[p.i] == '-' {
+		p.i++
+	}
+	switch {
+	case p.i < len(p.data) && p.data[p.i] == '0':
+		p.i++
+	case p.i < len(p.data) && p.data[p.i] >= '1' && p.data[p.i] <= '9':
+		for p.i < len(p.data) && p.data[p.i] >= '0' && p.data[p.i] <= '9' {
+			p.i++
+		}
+	default:
+		return p.errf("invalid number")
+	}
+	if p.i < len(p.data) && p.data[p.i] == '.' {
+		p.i++
+		if p.i >= len(p.data) || p.data[p.i] < '0' || p.data[p.i] > '9' {
+			return p.errf("invalid number fraction")
+		}
+		for p.i < len(p.data) && p.data[p.i] >= '0' && p.data[p.i] <= '9' {
+			p.i++
+		}
+	}
+	if p.i < len(p.data) && (p.data[p.i] == 'e' || p.data[p.i] == 'E') {
+		p.i++
+		if p.i < len(p.data) && (p.data[p.i] == '+' || p.data[p.i] == '-') {
+			p.i++
+		}
+		if p.i >= len(p.data) || p.data[p.i] < '0' || p.data[p.i] > '9' {
+			return p.errf("invalid number exponent")
+		}
+		for p.i < len(p.data) && p.data[p.i] >= '0' && p.data[p.i] <= '9' {
+			p.i++
+		}
+	}
+	return nil
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func isASCII(b []byte) bool {
+	for _, c := range b {
+		if c >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// keyEquals matches a raw object key against a lowercase field name with
+// encoding/json's semantics: the unescaped key must equal the name under
+// Unicode simple case-folding. The common case (unescaped ASCII key) is a
+// byte loop with no allocation; exotic keys (escapes or non-ASCII bytes,
+// which can still fold-match — 'ſ' folds to 's') take the allocating slow
+// path through unquote + strings.EqualFold.
+func keyEquals(raw []byte, hasEsc bool, name string) bool {
+	if !hasEsc && isASCII(raw) {
+		if len(raw) != len(name) {
+			return false
+		}
+		for i := 0; i < len(raw); i++ {
+			c := raw[i]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != name[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return strings.EqualFold(unquote(raw, hasEsc), name)
+}
+
+// unquote decodes the raw content of a scanned string: escape sequences,
+// surrogate pairs (unpaired halves become U+FFFD) and invalid UTF-8 bytes
+// (each coerced to U+FFFD) — byte-for-byte what encoding/json's
+// unquoteBytes produces. raw must have passed scanString.
+func unquote(raw []byte, hasEsc bool) string {
+	if !hasEsc && utf8.Valid(raw) {
+		return string(raw)
+	}
+	b := make([]byte, 0, len(raw)+2*utf8.UTFMax)
+	for r := 0; r < len(raw); {
+		switch c := raw[r]; {
+		case c == '\\':
+			r++
+			switch raw[r] {
+			case '"', '\\', '/':
+				b = append(b, raw[r])
+				r++
+			case 'b':
+				b = append(b, '\b')
+				r++
+			case 'f':
+				b = append(b, '\f')
+				r++
+			case 'n':
+				b = append(b, '\n')
+				r++
+			case 'r':
+				b = append(b, '\r')
+				r++
+			case 't':
+				b = append(b, '\t')
+				r++
+			case 'u':
+				rr := getu4(raw[r+1:])
+				r += 5
+				if utf16.IsSurrogate(rr) {
+					if r+6 <= len(raw) && raw[r] == '\\' && raw[r+1] == 'u' {
+						rr1 := getu4(raw[r+2:])
+						if dec := utf16.DecodeRune(rr, rr1); dec != unicode.ReplacementChar {
+							r += 6
+							b = utf8.AppendRune(b, dec)
+							break
+						}
+					}
+					rr = unicode.ReplacementChar
+				}
+				b = utf8.AppendRune(b, rr)
+			}
+		case c < utf8.RuneSelf:
+			b = append(b, c)
+			r++
+		default:
+			rr, size := utf8.DecodeRune(raw[r:])
+			r += size
+			b = utf8.AppendRune(b, rr)
+		}
+	}
+	return string(b)
+}
+
+// getu4 decodes 4 hex digits (already validated by scanString).
+func getu4(s []byte) rune {
+	var r rune
+	for k := 0; k < 4; k++ {
+		c := s[k]
+		switch {
+		case c >= '0' && c <= '9':
+			c -= '0'
+		case c >= 'a' && c <= 'f':
+			c = c - 'a' + 10
+		default:
+			c = c - 'A' + 10
+		}
+		r = r*16 + rune(c)
+	}
+	return r
+}

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rpbeat/internal/rng"
+)
+
+// classifyBody mirrors serve.ClassifyRequest for stdlib comparison.
+type classifyBody struct {
+	Model   string  `json:"model,omitempty"`
+	Samples []int32 `json:"samples"`
+}
+
+// chunkBody mirrors serve.StreamChunk.
+type chunkBody struct {
+	Samples []int32 `json:"samples"`
+}
+
+// stdClassify is the reference decode through encoding/json.
+func stdClassify(data []byte) (string, []int32, error) {
+	var b classifyBody
+	if err := json.Unmarshal(data, &b); err != nil {
+		return "", nil, err
+	}
+	return b.Model, b.Samples, nil
+}
+
+func sameSamples(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParseClassifyAgreesWithStdlib drives both decoders over a corpus of
+// valid bodies exercising whitespace, key order, case folding, escapes,
+// duplicate keys, nulls and unknown keys — the completeness half of the
+// equivalence contract (the fuzz target holds the soundness half).
+func TestParseClassifyAgreesWithStdlib(t *testing.T) {
+	corpus := []string{
+		`{"samples":[1,2,3]}`,
+		`{"samples":[]}`,
+		`{}`,
+		`null`,
+		` { "model" : "default" , "samples" : [ 0 , -1 , 2047 ] } `,
+		"\t{\n\"samples\":[1,\r\n2]}\n",
+		`{"model":"a@v1","samples":[-2147483648,2147483647]}`,
+		`{"Samples":[4,5],"MODEL":"x"}`,
+		`{"samples":[1],"samples":[9,8]}`,
+		`{"samples":[1],"samples":null}`,
+		`{"model":null,"samples":[3]}`,
+		`{"model":"first","model":"second","samples":[1]}`,
+		`{"unknown":{"nested":[1,{"deep":true}]},"samples":[7]}`,
+		`{"other":1.5e-9,"samples":[2],"more":"str\"esc"}`,
+		`{"model":"escA\n\t\\\"/é","samples":[1]}`,
+		`{"model":"😀","samples":[1]}`,
+		`{"model":"\ud800unpaired","samples":[1]}`,
+		`{"samples":[11,12]}`,
+		`{"samples":[-0]}`,
+		`{"samples":null}`,
+		`{"a":true,"b":false,"c":null,"samples":[1]}`,
+	}
+	for _, in := range corpus {
+		wantModel, wantSamples, wantErr := stdClassify([]byte(in))
+		if wantErr != nil {
+			t.Fatalf("corpus entry is not stdlib-valid: %q: %v", in, wantErr)
+		}
+		model, samples, err := ParseClassify(nil, []byte(in))
+		if err != nil {
+			t.Fatalf("fast parser rejected valid %q: %v", in, err)
+		}
+		if model != wantModel || !sameSamples(samples, wantSamples) {
+			t.Fatalf("%q: fast (%q, %v) != stdlib (%q, %v)", in, model, samples, wantModel, wantSamples)
+		}
+
+		// ParseChunk over the same input must agree with the chunk struct.
+		var cb chunkBody
+		if err := json.Unmarshal([]byte(in), &cb); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseChunk(nil, []byte(in))
+		if err != nil {
+			t.Fatalf("ParseChunk rejected valid %q: %v", in, err)
+		}
+		if !sameSamples(got, cb.Samples) {
+			t.Fatalf("%q: ParseChunk %v != stdlib %v", in, got, cb.Samples)
+		}
+	}
+}
+
+// TestParseRejectsHostileInput holds the parser to typed *SyntaxError
+// rejection (never a panic, never silent acceptance) on malformed bodies.
+func TestParseRejectsHostileInput(t *testing.T) {
+	bad := []string{
+		``,
+		` `,
+		`{`,
+		`{"samples":[1,2}`,
+		`{"samples":[1,]}`,
+		`{"samples":[01]}`,
+		`{"samples":[1.5]}`,
+		`{"samples":[1e3]}`,
+		`{"samples":[2147483648]}`,
+		`{"samples":[-2147483649]}`,
+		`{"samples":["1"]}`,
+		`{"samples":[--1]}`,
+		`{"samples":{}}`,
+		`{"samples":true}`,
+		`{"samples":[1]}x`,
+		`{"samples":[1]} {"samples":[2]}`,
+		`[1,2]`,
+		`true`,
+		`"samples"`,
+		`{"model":3,"samples":[1]}`,
+		`{"model":"x` + "\x01" + `","samples":[1]}`,
+		`{"model":"\q","samples":[1]}`,
+		`{"model":"\u12g4","samples":[1]}`,
+		`{"model":"unterminated`,
+		`{"samples":[1],}`,
+		`{"samples" [1]}`,
+		`{samples:[1]}`,
+		`{"x":01,"samples":[1]}`,
+		`{"x":1.,"samples":[1]}`,
+		`{"x":1e,"samples":[1]}`,
+		`{"x":tru}`,
+		strings.Repeat(`{"a":`, 600) + `1` + strings.Repeat(`}`, 600),
+	}
+	for _, in := range bad {
+		_, _, err := ParseClassify(nil, []byte(in))
+		if err == nil {
+			t.Fatalf("fast parser accepted %q", in)
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Fatalf("%q: error %v is not a *SyntaxError", in, err)
+		}
+	}
+}
+
+// TestParseChunkPropertyEquivalence cross-checks the two decoders over
+// randomly generated valid chunk lines: random sample counts and values,
+// random whitespace, random key case, occasional unknown keys.
+func TestParseChunkPropertyEquivalence(t *testing.T) {
+	r := rng.New(99)
+	ws := []string{"", " ", "\t", "\n", "  "}
+	keys := []string{"samples", "Samples", "SAMPLES", "sAmPlEs"}
+	var reused []int32
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(40)
+		var sb strings.Builder
+		sb.WriteString(ws[r.Intn(len(ws))] + "{")
+		if r.Intn(4) == 0 {
+			fmt.Fprintf(&sb, `"extra%d":%d,`, trial, r.Intn(1000))
+		}
+		fmt.Fprintf(&sb, `%s"%s"%s:%s[`, ws[r.Intn(len(ws))], keys[r.Intn(len(keys))],
+			ws[r.Intn(len(ws))], ws[r.Intn(len(ws))])
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString("," + ws[r.Intn(len(ws))])
+			}
+			fmt.Fprintf(&sb, "%d", r.Intn(4096)-2048)
+		}
+		sb.WriteString("]}" + ws[r.Intn(len(ws))])
+		line := []byte(sb.String())
+
+		var want chunkBody
+		if err := json.Unmarshal(line, &want); err != nil {
+			t.Fatalf("generator produced stdlib-invalid %q: %v", line, err)
+		}
+		var err error
+		reused, err = ParseChunk(reused, line)
+		if err != nil {
+			t.Fatalf("fast parser rejected %q: %v", line, err)
+		}
+		if !sameSamples(reused, want.Samples) {
+			t.Fatalf("%q: fast %v != stdlib %v", line, reused, want.Samples)
+		}
+	}
+}
+
+// TestParseChunkReusesBuffer pins the append-into-dst contract: across
+// lines that fit the warm capacity, the returned slice shares dst's
+// backing array and no reallocation happens.
+func TestParseChunkReusesBuffer(t *testing.T) {
+	buf := make([]int32, 0, 64)
+	first, err := ParseChunk(buf, []byte(`{"samples":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ParseChunk(first, []byte(`{"samples":[9,8]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(second) != cap(buf) {
+		t.Fatalf("warm parse reallocated: cap %d -> %d", cap(buf), cap(second))
+	}
+	if !sameSamples(second, []int32{9, 8}) {
+		t.Fatalf("second parse = %v", second)
+	}
+}
+
+// TestParseChunkZeroAlloc is the wire row's allocation invariant: parsing a
+// steady stream of chunk lines into a warm buffer allocates nothing.
+func TestParseChunkZeroAlloc(t *testing.T) {
+	line := []byte(`{"samples":[1017,1020,1013,998,1004,1011,1002,997,1003,1008]}`)
+	buf := make([]int32, 0, 16)
+	var parseErr error
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, parseErr = ParseChunk(buf, line)
+	})
+	if parseErr != nil {
+		t.Fatal(parseErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("warm ParseChunk allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestParseChunkKeepsBufferOnError: a malformed line must not cost the
+// caller its pooled buffer — the returned slice still shares dst's backing
+// array, so a trickle of bad requests cannot defeat the pooling.
+func TestParseChunkKeepsBufferOnError(t *testing.T) {
+	buf := make([]int32, 0, 64)
+	for _, bad := range []string{`{"samples":[1,`, `{"samples":[1.5]}`, `junk`} {
+		out, err := ParseChunk(buf, []byte(bad))
+		if err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+		if cap(out) != cap(buf) {
+			t.Fatalf("%q: error path dropped the buffer (cap %d -> %d)", bad, cap(buf), cap(out))
+		}
+		buf = out
+	}
+}

@@ -1,0 +1,26 @@
+package wire
+
+import "testing"
+
+func TestIsSampleContentType(t *testing.T) {
+	cases := []struct {
+		ct   string
+		want bool
+	}{
+		{"application/x-rpbeat-samples", true},
+		{"Application/X-RPBeat-Samples", true}, // media types are case-insensitive (RFC 9110)
+		{"APPLICATION/X-RPBEAT-SAMPLES", true},
+		{" application/x-rpbeat-samples ", true},
+		{"application/x-rpbeat-samples; charset=utf-8", true},
+		{"application/x-rpbeat-samples;foo=bar", true},
+		{"application/json", false},
+		{"application/x-ndjson", false},
+		{"application/x-rpbeat-samplesx", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := IsSampleContentType(c.ct); got != c.want {
+			t.Fatalf("IsSampleContentType(%q) = %v, want %v", c.ct, got, c.want)
+		}
+	}
+}
