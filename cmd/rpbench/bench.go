@@ -47,6 +47,7 @@ type benchFile struct {
 	Pipeline  pipelineMetrics `json:"pipeline"`
 	Engine    engineBench     `json:"engine"`
 	Serve     serveBenchBlock `json:"serve"`
+	Fleet     fleetBenchBlock `json:"fleet"`
 	Matrix    matrixBytes     `json:"matrix_bytes"`
 }
 
@@ -321,6 +322,12 @@ func runJSONBench(dir string) (string, error) {
 	// --- serving wire layer: request decode, response encode and transport
 	// size per codec (stdlib JSON vs fast JSON vs binary frames) ---
 	if err := runServeBench(&out); err != nil {
+		return "", err
+	}
+
+	// --- fleet load: the whole stack under a synthetic patient fleet, up
+	// through the overload knee (see fleet.go) ---
+	if err := runFleetBench(&out); err != nil {
 		return "", err
 	}
 

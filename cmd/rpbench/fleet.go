@@ -1,0 +1,96 @@
+package main
+
+// The fleet experiment family: the serving stack under fleet-scale load,
+// driven by internal/load — the same harness cmd/rpload runs against a
+// remote server, here against an in-process loopback server so the numbers
+// land in the BENCH trajectory. The sweep raises the concurrent-stream
+// count through the provisioned capacity into deliberate overload: below
+// the knee the rows show the beat-latency SLO holding at increasing load;
+// past the configured stream cap they show the overload ladder doing its
+// job — excess streams shed with typed server_overloaded errors while every
+// admitted stream keeps its latency, and goodput stays at capacity instead
+// of collapsing.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+
+	"rpbeat/internal/catalog"
+	"rpbeat/internal/load"
+	"rpbeat/internal/pipeline"
+	"rpbeat/internal/rng"
+	"rpbeat/internal/serve"
+)
+
+// fleetBenchBlock is the "fleet" section of BENCH_<n>.json. Each sweep row
+// is one internal/load fleet run, verbatim.
+type fleetBenchBlock struct {
+	// MaxStreams is the server's stream cap for every row: rows with
+	// streams <= max_streams measure latency under admitted load, rows
+	// beyond it measure the shed path.
+	MaxStreams int `json:"max_streams"`
+	// Speedup is the per-patient cadence multiplier over the 360 Hz real
+	// time — how the sweep reaches engine-saturating sample rates with a
+	// connection count the host can hold open.
+	Speedup float64 `json:"speedup"`
+	// RecordSeconds is each patient's record length (of signal time; wall
+	// time per row is record_seconds / speedup).
+	RecordSeconds float64       `json:"record_seconds"`
+	Workers       int           `json:"workers"`
+	Sweep         []load.Report `json:"sweep"`
+}
+
+// fleetSweepStreams returns the sweep's fleet sizes around the cap: well
+// under, approaching, at, and past it.
+func fleetSweepStreams(cap int) []int {
+	return []int{cap / 8, cap / 4, cap / 2, cap, cap + cap/2}
+}
+
+// runFleetBench fills out.Fleet and appends summary fleet/* rows to
+// out.Results.
+func runFleetBench(out *benchFile) error {
+	const (
+		maxStreams    = 256
+		speedup       = 32
+		recordSeconds = 20
+	)
+	workers := runtime.NumCPU()
+
+	r := rng.New(9)
+	cat := catalog.New()
+	if _, err := cat.Put("bench", benchModel(r, 8, 50, 4), nil); err != nil {
+		return err
+	}
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: workers, MaxStreams: maxStreams + 8})
+	defer eng.Close()
+	ts := httptest.NewServer(serve.NewHandler(eng, serve.HandlerConfig{MaxStreams: maxStreams}))
+	defer ts.Close()
+
+	out.Fleet = fleetBenchBlock{
+		MaxStreams:    maxStreams,
+		Speedup:       speedup,
+		RecordSeconds: recordSeconds,
+		Workers:       workers,
+	}
+	for _, streams := range fleetSweepStreams(maxStreams) {
+		rep, err := load.Run(context.Background(), load.Config{
+			BaseURL: ts.URL,
+			Streams: streams,
+			Seconds: recordSeconds,
+			Speedup: speedup,
+			Seed:    9,
+		})
+		if err != nil {
+			return err
+		}
+		out.Fleet.Sweep = append(out.Fleet.Sweep, *rep)
+		out.Results = append(out.Results, benchResult{
+			Name:       fmt.Sprintf("fleet/streams_%d", streams),
+			Iterations: int(rep.Beats),
+			NsPerOp:    rep.BeatLatencyMsP99 * 1e6, // p99 beat latency
+		})
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command rpload drives a synthetic patient fleet against a live rpserve
+// instance and reports what the fleet saw: beat latency percentiles
+// (p50/p99/p999), goodput, and every typed refusal by error code. It is the
+// client half of the overload-control story — rpserve's -max-streams,
+// -max-batch and -rate knobs decide who is shed; rpload measures that the
+// SLO holds for everyone who is admitted and that everyone else gets a
+// contract error, never a reset.
+//
+// Each patient is synthesized by internal/ecgsyn from a deterministic
+// per-patient seed and streamed as binary application/x-rpbeat-samples
+// frames at a realistic cadence: -speedup 1 replays in real time (one
+// 0.5 s chunk every 0.5 s per patient), -speedup 32 compresses the same
+// arrival pattern 32-fold. A -batch mix POSTs whole records to /v1/classify
+// alongside the streams.
+//
+// Usage:
+//
+//	rpserve -demo -max-streams 256 &
+//	rpload -server http://127.0.0.1:8080 -streams 200 -seconds 30 -speedup 8
+//	rpload -streams 400 -speedup 32 -batch 4 -json   # overload the knee
+//
+// Exit status is 0 whenever the run completed, shed streams included —
+// shedding is the server keeping its promise, not a client failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"rpbeat/internal/load"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "http://127.0.0.1:8080", "rpserve base URL")
+		streams = flag.Int("streams", 100, "fleet size: concurrent patient streams")
+		seconds = flag.Float64("seconds", 30, "record length per patient, seconds of signal")
+		speedup = flag.Float64("speedup", 8, "cadence multiplier over real time (0 = firehose, no pacing)")
+		chunk   = flag.Int("chunk", load.DefaultChunk, "samples per uplink frame")
+		model   = flag.String("model", "", "model reference to pin (empty = server default)")
+		tenant  = flag.String("tenant", "", "X-Tenant header for every request (empty = none)")
+		batch   = flag.Int("batch", 0, "batch-classify workers riding along with the streams")
+		seed    = flag.Uint64("seed", 1, "fleet seed; patient i derives from it deterministically")
+		unique  = flag.Int("unique", 0, "distinct records to synthesize, shared round-robin (0 = min(streams, 16))")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = none)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("rpload: ")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := load.Config{
+		BaseURL:       *server,
+		Streams:       *streams,
+		Seconds:       *seconds,
+		Speedup:       *speedup,
+		Chunk:         *chunk,
+		Model:         *model,
+		Tenant:        *tenant,
+		BatchWorkers:  *batch,
+		Seed:          *seed,
+		UniqueRecords: *unique,
+	}
+	if !*jsonOut {
+		log.Printf("fleet of %d streams x %gs records at x%g cadence against %s",
+			cfg.Streams, cfg.Seconds, cfg.Speedup, cfg.BaseURL)
+	}
+	start := time.Now()
+	rep, err := load.Run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("streams: %d ok, %d shed, %d failed\n", rep.StreamsOK, rep.StreamsShed, rep.StreamsFailed)
+	fmt.Printf("beats:   %d across %d samples (%.0f samples/s goodput)\n",
+		rep.Beats, rep.Samples, rep.GoodputSamplesPerSec)
+	fmt.Printf("beat latency ms: p50=%.2f p99=%.2f p999=%.2f max=%.2f\n",
+		rep.BeatLatencyMsP50, rep.BeatLatencyMsP99, rep.BeatLatencyMsP999, rep.BeatLatencyMsMax)
+	if rep.BatchRequests > 0 {
+		fmt.Printf("batch:   %d/%d ok\n", rep.BatchOK, rep.BatchRequests)
+	}
+	if len(rep.ErrorCounts) > 0 {
+		codes := make([]string, 0, len(rep.ErrorCounts))
+		for c := range rep.ErrorCounts {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		fmt.Printf("errors:\n")
+		for _, c := range codes {
+			fmt.Printf("  %-20s %d\n", c, rep.ErrorCounts[c])
+		}
+	}
+}

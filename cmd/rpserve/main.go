@@ -30,6 +30,15 @@
 // Shutdown is graceful: SIGINT/SIGTERM stop the listener, in-flight
 // requests (including open streams) get -drain to finish, then the engine
 // worker pool is closed.
+//
+// Overload control (all off by default): -max-streams caps concurrently
+// open streams (beyond it new streams shed with the typed server_overloaded
+// error while batch stays admitted), -max-batch caps in-flight classify
+// requests, and -rate/-burst meter request starts per tenant (X-Tenant
+// header, client IP fallback; violations get typed rate_limited). Every
+// refusal carries Retry-After — clients see contract errors, never resets.
+// cmd/rpload drives a synthetic patient fleet against these defenses and
+// measures where the latency knee sits.
 package main
 
 import (
@@ -78,12 +87,16 @@ func trainDemo(seed uint64) (*core.Model, error) {
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "engine worker goroutines (0 = NumCPU)")
-		modelsDir = flag.String("models-dir", "", "persistent catalog directory (loaded at boot, uploads land here, SIGHUP reloads)")
-		deflt     = flag.String("default", "", "default model reference (name or name@vN)")
-		demo      = flag.Bool("demo", false, "train a small demo model at startup")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "engine worker goroutines (0 = NumCPU)")
+		modelsDir  = flag.String("models-dir", "", "persistent catalog directory (loaded at boot, uploads land here, SIGHUP reloads)")
+		deflt      = flag.String("default", "", "default model reference (name or name@vN)")
+		demo       = flag.Bool("demo", false, "train a small demo model at startup")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		maxStreams = flag.Int("max-streams", 0, "concurrent /v1/stream cap; beyond it new streams shed with typed server_overloaded (0 = unlimited)")
+		maxBatch   = flag.Int("max-batch", 0, "in-flight /v1/classify cap, the shed ladder's second rung (0 = unlimited)")
+		rate       = flag.Float64("rate", 0, "per-tenant request rate limit, req/s (X-Tenant header or client IP; 0 = unlimited)")
+		burst      = flag.Float64("burst", 0, "per-tenant token-bucket depth (0 = max(1, -rate))")
 	)
 	// Flag order decides import order, so keep a slice, not a map.
 	type namedModel struct{ name, path string }
@@ -162,7 +175,13 @@ func main() {
 		log.Printf("no default model yet: pick one with PUT /v1/default or upload the first")
 	}
 
-	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: *workers})
+	// The engine-level stream cap backs the HTTP gate with a little
+	// headroom, so embedded (non-HTTP) streams share the same defense.
+	engMax := 0
+	if *maxStreams > 0 {
+		engMax = *maxStreams + 8
+	}
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: *workers, MaxStreams: engMax})
 
 	// SIGHUP hot-reloads a directory-backed catalog (e.g. after rsyncing new
 	// model files in) without dropping a single stream.
@@ -183,9 +202,18 @@ func main() {
 	}()
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           serve.NewHandler(eng, serve.HandlerConfig{}),
+		Addr: *addr,
+		Handler: serve.NewHandler(eng, serve.HandlerConfig{
+			MaxStreams:    *maxStreams,
+			MaxBatch:      *maxBatch,
+			RatePerTenant: *rate,
+			RateBurst:     *burst,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if *maxStreams > 0 || *maxBatch > 0 || *rate > 0 {
+		log.Printf("overload control: max-streams=%d max-batch=%d rate=%g/s burst=%g",
+			*maxStreams, *maxBatch, *rate, *burst)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

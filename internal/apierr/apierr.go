@@ -33,6 +33,18 @@ const (
 	// CodeStreamOverloaded: a stream's input queue is full; the producer
 	// outruns the worker pool and should back off.
 	CodeStreamOverloaded Code = "stream_overloaded"
+	// CodeServerOverloaded: the server as a whole is at capacity (stream
+	// slots exhausted, shed ladder engaged). The request was refused before
+	// any work was done; clients should back off, or degrade a stream
+	// workload to batch /v1/classify requests, which stay admitted longer.
+	CodeServerOverloaded Code = "server_overloaded"
+	// CodeRateLimited: the tenant exceeded its request rate budget. Retry
+	// after the Retry-After delay.
+	CodeRateLimited Code = "rate_limited"
+	// CodeShuttingDown: the server is draining for shutdown; the request (or
+	// Send) was refused so in-flight work can finish. Retry against another
+	// replica or after the restart.
+	CodeShuttingDown Code = "shutting_down"
 	// CodeBadInput: the request is malformed (bad JSON, bad model
 	// reference syntax, empty samples, invalid model bytes, ...).
 	CodeBadInput Code = "bad_input"
@@ -55,6 +67,9 @@ var httpStatus = map[Code]int{
 	CodeModelNotFound:    http.StatusNotFound,
 	CodeModelExists:      http.StatusConflict,
 	CodeStreamOverloaded: http.StatusServiceUnavailable,
+	CodeServerOverloaded: http.StatusServiceUnavailable,
+	CodeRateLimited:      http.StatusTooManyRequests,
+	CodeShuttingDown:     http.StatusServiceUnavailable,
 	CodeBadInput:         http.StatusBadRequest,
 	CodeMethodNotAllowed: http.StatusMethodNotAllowed,
 	CodeNotFound:         http.StatusNotFound,
@@ -83,6 +98,18 @@ func (e *Error) HTTPStatus() int {
 		return s
 	}
 	return http.StatusInternalServerError
+}
+
+// Retryable reports whether the failure is a transient capacity condition —
+// overload, rate limiting, shutdown drain — that a client should retry after
+// a short delay. The serving layer adds a Retry-After header exactly for
+// these codes.
+func (e *Error) Retryable() bool {
+	switch e.Code {
+	case CodeStreamOverloaded, CodeServerOverloaded, CodeRateLimited, CodeShuttingDown:
+		return true
+	}
+	return false
 }
 
 // From coerces any error to an *Error: typed errors pass through (also when

@@ -1,0 +1,102 @@
+package load
+
+import (
+	"context"
+	"testing"
+
+	"rpbeat/internal/serve"
+)
+
+// TestPatientSeedDeterministicAndDistinct: the fleet is reproducible
+// because patient seeds are a pure function of (fleet seed, index), and
+// every patient gets their own.
+func TestPatientSeedDeterministicAndDistinct(t *testing.T) {
+	if PatientSeed(7, 3) != PatientSeed(7, 3) {
+		t.Fatal("PatientSeed is not deterministic")
+	}
+	seen := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		s := PatientSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("patients %d and %d share seed %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	// Different fleet seeds give different patients too.
+	if PatientSeed(1, 0) == PatientSeed(2, 0) {
+		t.Fatal("fleet seeds 1 and 2 derived the same patient seed")
+	}
+}
+
+// TestFleetRun drives a small fleet (with a batch mix) end to end against
+// the real serving stack and checks the report adds up: every stream
+// admitted and finished, beats observed with measurable latency, goodput
+// accounted.
+func TestFleetRun(t *testing.T) {
+	ts, _ := testServer(t, 2, serve.HandlerConfig{})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Streams:      8,
+		Seconds:      10,
+		Speedup:      64,
+		BatchWorkers: 1,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamsOK != 8 || rep.StreamsShed != 0 || rep.StreamsFailed != 0 {
+		t.Fatalf("streams ok/shed/failed = %d/%d/%d, want 8/0/0 (errors: %v)",
+			rep.StreamsOK, rep.StreamsShed, rep.StreamsFailed, rep.ErrorCounts)
+	}
+	if rep.Beats == 0 {
+		t.Fatal("fleet observed no beats")
+	}
+	// 10 s of 360 Hz signal per stream, every sample acknowledged.
+	if want := int64(8 * 10 * 360); rep.Samples != want {
+		t.Fatalf("samples = %d, want %d", rep.Samples, want)
+	}
+	if rep.GoodputSamplesPerSec <= 0 {
+		t.Fatal("no goodput reported")
+	}
+	if rep.BeatLatencyMsP50 <= 0 || rep.BeatLatencyMsP999 < rep.BeatLatencyMsP50 {
+		t.Fatalf("latency percentiles inconsistent: p50=%.3f p99=%.3f p999=%.3f",
+			rep.BeatLatencyMsP50, rep.BeatLatencyMsP99, rep.BeatLatencyMsP999)
+	}
+	if rep.BatchRequests == 0 || rep.BatchOK == 0 {
+		t.Fatalf("batch mix idle: %d requests, %d ok", rep.BatchRequests, rep.BatchOK)
+	}
+	if len(rep.ErrorCounts) != 0 {
+		t.Fatalf("unexpected errors: %v", rep.ErrorCounts)
+	}
+}
+
+// TestFleetShedCounting: against a capped server, refused streams land in
+// streams_shed with their typed code tallied — the client-side view of the
+// overload contract.
+func TestFleetShedCounting(t *testing.T) {
+	ts, _ := testServer(t, 2, serve.HandlerConfig{MaxStreams: 2})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Streams: 6,
+		Seconds: 10,
+		Speedup: 16, // admitted streams hold their slot ~600ms: full overlap
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamsOK != 2 || rep.StreamsShed != 4 || rep.StreamsFailed != 0 {
+		t.Fatalf("streams ok/shed/failed = %d/%d/%d, want 2/4/0 (errors: %v)",
+			rep.StreamsOK, rep.StreamsShed, rep.StreamsFailed, rep.ErrorCounts)
+	}
+	if rep.ErrorCounts["server_overloaded"] != 4 {
+		t.Fatalf("error counts = %v, want 4x server_overloaded", rep.ErrorCounts)
+	}
+	// Only admitted streams count toward goodput.
+	if want := int64(2 * 10 * 360); rep.Samples != want {
+		t.Fatalf("samples = %d, want %d (admitted streams only)", rep.Samples, want)
+	}
+}

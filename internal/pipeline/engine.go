@@ -37,7 +37,6 @@ package pipeline
 
 import (
 	"context"
-	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +59,12 @@ type EngineConfig struct {
 	// (4 MB of int32, ~48 minutes of one 360 Hz lead); negative means
 	// unbounded.
 	MaxPending int
+	// MaxStreams bounds concurrently open streams (Open through Close). An
+	// Open at the bound fails with apierr.CodeServerOverloaded — the
+	// process-wide capacity defense behind the serving layer's admission
+	// gate, so embedders that bypass HTTP get the same contract. Zero or
+	// negative means unlimited.
+	MaxStreams int
 }
 
 // defaultMaxPending is the per-stream queue bound, in samples, when the
@@ -140,6 +145,10 @@ type worker struct {
 type Engine struct {
 	cat        *catalog.Catalog
 	maxPending int
+	maxStreams int64
+
+	// open counts streams between Open and completion (the done close).
+	open atomic.Int64
 
 	workers []*worker
 	next    atomic.Uint64 // round-robin home-shard assignment for Open
@@ -167,7 +176,7 @@ func NewEngine(cat *catalog.Catalog, cfg EngineConfig) *Engine {
 	if cfg.MaxPending == 0 {
 		cfg.MaxPending = defaultMaxPending
 	}
-	e := &Engine{cat: cat, maxPending: cfg.MaxPending}
+	e := &Engine{cat: cat, maxPending: cfg.MaxPending, maxStreams: int64(cfg.MaxStreams)}
 	e.workers = make([]*worker, cfg.Workers)
 	for i := range e.workers {
 		e.workers[i] = &worker{id: i, wake: make(chan struct{}, 1)}
@@ -226,12 +235,23 @@ func (e *Engine) Open(ctx context.Context, model string, cfg Config, sink func([
 	if err := ctx.Err(); err != nil {
 		return nil, apierr.From(err)
 	}
+	if e.shutdown.Load() {
+		return nil, errShuttingDown
+	}
+	// Reserve a stream slot before any allocation: a refused Open costs the
+	// caller (and an overloaded server) nothing but the CAS.
+	if !e.reserveStream() {
+		return nil, apierr.New(apierr.CodeServerOverloaded,
+			"engine stream slots exhausted (%d open); back off or close streams", e.maxStreams)
+	}
 	entry, err := e.cat.Snapshot().Resolve(model)
 	if err != nil {
+		e.open.Add(-1)
 		return nil, err
 	}
 	pipe, err := New(entry.Emb, cfg)
 	if err != nil {
+		e.open.Add(-1)
 		return nil, err
 	}
 	if sink == nil {
@@ -240,6 +260,24 @@ func (e *Engine) Open(ctx context.Context, model string, cfg Config, sink func([
 	home := e.workers[int((e.next.Add(1)-1)%uint64(len(e.workers)))]
 	return &Stream{eng: e, entry: entry, pipe: pipe, sink: sink, home: home, done: make(chan struct{})}, nil
 }
+
+// reserveStream CAS-increments the open-stream count unless it is at the
+// bound (maxStreams <= 0 is unlimited).
+func (e *Engine) reserveStream() bool {
+	for {
+		cur := e.open.Load()
+		if e.maxStreams > 0 && cur >= e.maxStreams {
+			return false
+		}
+		if e.open.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// OpenStreams reports how many streams are currently open (Open through
+// Close completion) — what EngineConfig.MaxStreams bounds.
+func (e *Engine) OpenStreams() int { return int(e.open.Load()) }
 
 // Entry returns the catalog entry the stream was opened against (the
 // version is pinned, so this is stable for the stream's life).
@@ -308,14 +346,24 @@ func (s *Stream) Send(ctx context.Context, samples []int32) error {
 	return nil
 }
 
+// errShuttingDown rejects work arriving after Engine.Close: typed, so the
+// serving layer renders a drain as the shutting_down contract error (503 +
+// Retry-After), never a reset or an opaque 500.
+var errShuttingDown = apierr.New(apierr.CodeShuttingDown,
+	"engine is shutting down; no new work is admitted")
+
+// errStreamClosed rejects a Send after the stream's own Close — a caller
+// ordering bug, typed as the client's bad_input.
+var errStreamClosed = apierr.New(apierr.CodeBadInput, "send on closed stream")
+
 // admitLocked checks the conditions that permanently reject a Send.
 // Callers must hold s.mu.
 func (s *Stream) admitLocked() error {
 	if s.closing {
-		return errors.New("pipeline: send on closed stream")
+		return errStreamClosed
 	}
 	if s.eng.shutdown.Load() {
-		return errors.New("pipeline: engine closed")
+		return errShuttingDown
 	}
 	return nil
 }
@@ -350,7 +398,7 @@ func (s *Stream) Close() error {
 	if e.shutdown.Load() {
 		s.mu.Unlock()
 		e.inflight.Add(-1)
-		return errors.New("pipeline: engine closed")
+		return errShuttingDown
 	}
 	s.closing = true
 	enq := s.scheduleLocked()
@@ -542,6 +590,8 @@ func (e *Engine) run(w *worker, s *Stream) {
 		e.enqueue(s)
 	}
 	if flush {
+		// The stream is complete: its slot frees up for the next Open.
+		e.open.Add(-1)
 		close(s.done)
 	}
 }

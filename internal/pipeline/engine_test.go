@@ -618,3 +618,87 @@ func BenchmarkEngineSendSteadyState(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// TestEngineMaxStreams holds the engine-level stream cap: Opens beyond
+// MaxStreams fail with the typed server_overloaded error, and a completed
+// Close frees the slot for the next Open.
+func TestEngineMaxStreams(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1, MaxStreams: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	a, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A failed resolve must release its reserved slot, not leak it toward
+	// the cap.
+	if _, err := eng.Open(ctx, "no-such-model", Config{}, nil); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if got := eng.OpenStreams(); got != 1 {
+		t.Fatalf("OpenStreams after failed resolve = %d, want 1", got)
+	}
+	b, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.OpenStreams(); got != 2 {
+		t.Fatalf("OpenStreams = %d, want 2", got)
+	}
+	if _, err := eng.Open(ctx, "m", Config{}, nil); !apierr.IsCode(err, apierr.CodeServerOverloaded) {
+		t.Fatalf("Open beyond cap: err = %v, want server_overloaded", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close completed (done closed), so the slot is free again.
+	c, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatalf("Open after Close still refused: %v", err)
+	}
+	for _, st := range []*Stream{b, c} {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.OpenStreams(); got != 0 {
+		t.Fatalf("OpenStreams after all closed = %d, want 0", got)
+	}
+}
+
+// TestEngineShutdownErrorsTyped pins the drain contract: once the engine is
+// closed, Send, Close and Open all fail with the typed shutting_down error
+// (the serving layer renders it as 503 + Retry-After), and a Send on a
+// stream the caller already closed is the typed bad_input.
+func TestEngineShutdownErrorsTyped(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1})
+	ctx := context.Background()
+
+	closed, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.Send(ctx, []int32{1, 2, 3}); !apierr.IsCode(err, apierr.CodeBadInput) {
+		t.Fatalf("Send on closed stream: err = %v, want bad_input", err)
+	}
+
+	open, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	if err := open.Send(ctx, []int32{1, 2, 3}); !apierr.IsCode(err, apierr.CodeShuttingDown) {
+		t.Fatalf("Send after engine Close: err = %v, want shutting_down", err)
+	}
+	if err := open.Close(); !apierr.IsCode(err, apierr.CodeShuttingDown) {
+		t.Fatalf("Close after engine Close: err = %v, want shutting_down", err)
+	}
+	if _, err := eng.Open(ctx, "m", Config{}, nil); !apierr.IsCode(err, apierr.CodeShuttingDown) {
+		t.Fatalf("Open after engine Close: err = %v, want shutting_down", err)
+	}
+}

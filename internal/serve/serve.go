@@ -40,10 +40,21 @@
 //     name@vN)
 //   - PUT    /v1/default       {"model":"ref"} repoints the default
 //
-// Plus GET /healthz. Every failure, on every route, is rendered as the
-// uniform typed body {"error":{"code":"...","message":"..."}} with the
-// status internal/apierr assigns to the code; request contexts are plumbed
-// into the engine, so an abandoned request stops consuming workers.
+// Plus GET /healthz (liveness + the overload counters). Every failure, on
+// every route, is rendered as the uniform typed body
+// {"error":{"code":"...","message":"..."}} with the status internal/apierr
+// assigns to the code; request contexts are plumbed into the engine, so an
+// abandoned request stops consuming workers.
+//
+// Both data paths run behind admission control (internal/overload): a
+// per-tenant token-bucket rate limit (X-Tenant header, client IP fallback;
+// typed rate_limited) and a two-rung shed ladder — at HandlerConfig.
+// MaxStreams open streams, new /v1/stream requests are refused with the
+// typed server_overloaded error while /v1/classify stays admitted (stream
+// clients degrade to batch), and at MaxBatch in-flight batch requests the
+// data path is refused entirely. Refused requests cost one CAS; every
+// retryable refusal (and the engine's shutting_down during a drain) carries
+// a Retry-After header. Clients always see contract errors, never resets.
 package serve
 
 import (
@@ -51,6 +62,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"time"
@@ -59,6 +71,7 @@ import (
 	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
 	"rpbeat/internal/nfc"
+	"rpbeat/internal/overload"
 	"rpbeat/internal/pipeline"
 	"rpbeat/internal/wire"
 )
@@ -88,12 +101,29 @@ type HandlerConfig struct {
 	// the codec-equivalence tests compare against. The wire format is
 	// identical either way; only cost differs. Off (fast path) by default.
 	StdlibJSON bool
+	// MaxStreams bounds concurrently open /v1/stream requests. At the
+	// bound, new streams are shed with the typed server_overloaded error
+	// while batch /v1/classify stays admitted — the shed ladder's first
+	// rung (see internal/overload). Zero means unlimited.
+	MaxStreams int
+	// MaxBatch bounds in-flight /v1/classify requests — the ladder's second
+	// rung. Zero means unlimited.
+	MaxBatch int
+	// RatePerTenant meters data-path request starts per tenant (the
+	// X-Tenant header, or the client IP without one) in requests/second;
+	// violations get the typed rate_limited error. Zero disables limiting.
+	RatePerTenant float64
+	// RateBurst is the token-bucket depth per tenant; default
+	// max(1, RatePerTenant).
+	RateBurst float64
 }
 
 type server struct {
 	eng        *pipeline.Engine
 	maxUpload  int64
 	stdlibJSON bool
+	gate       *overload.Gate
+	limiter    *overload.Limiter
 	// scratch pools the per-request working buffers of /v1/classify: the
 	// request body bytes, the decoded sample slice, the millivolt
 	// conversion, the morphological filter and wavelet-detector buffers,
@@ -116,7 +146,13 @@ var lineBufs = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b
 // endpoints (GET|POST /v1/models, GET|DELETE /v1/models/{ref},
 // PUT /v1/default) and GET /healthz.
 func NewHandler(eng *pipeline.Engine, cfg HandlerConfig) http.Handler {
-	s := &server{eng: eng, maxUpload: cfg.MaxUploadBytes, stdlibJSON: cfg.StdlibJSON}
+	s := &server{
+		eng: eng, maxUpload: cfg.MaxUploadBytes, stdlibJSON: cfg.StdlibJSON,
+		gate: overload.NewGate(overload.GateConfig{MaxStreams: cfg.MaxStreams, MaxBatch: cfg.MaxBatch}),
+	}
+	if cfg.RatePerTenant > 0 {
+		s.limiter = overload.NewLimiter(overload.LimiterConfig{Rate: cfg.RatePerTenant, Burst: cfg.RateBurst})
+	}
 	if s.maxUpload <= 0 {
 		s.maxUpload = core.MaxModelBytes
 	}
@@ -166,6 +202,9 @@ func writeErr(w http.ResponseWriter, err error) {
 	ae := apierr.From(err)
 	bp := lineBufs.Get().(*[]byte)
 	buf := wire.AppendError((*bp)[:0], string(ae.Code), ae.Message)
+	if ae.Retryable() {
+		w.Header().Set("Retry-After", retryAfter)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(ae.HTTPStatus())
 	w.Write(buf)
@@ -183,6 +222,24 @@ func wireErr(err error) error {
 	return apierr.New(apierr.CodeBadInput, "%v", err)
 }
 
+// retryAfter is the Retry-After header value on every retryable refusal
+// (overload, rate limit, drain): long enough to thin a retry storm, short
+// enough that a fleet recovers promptly after the pressure clears.
+const retryAfter = "1"
+
+// tenant identifies the client for rate limiting: the X-Tenant header when
+// present (how a gateway or SDK names the paying principal), the client IP
+// otherwise.
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
 func (s *server) methodNotAllowed(w http.ResponseWriter, r *http.Request) {
 	writeErr(w, apierr.New(apierr.CodeMethodNotAllowed, "%s not allowed on %s", r.Method, r.URL.Path))
 }
@@ -191,8 +248,21 @@ func (s *server) notFound(w http.ResponseWriter, r *http.Request) {
 	writeErr(w, apierr.New(apierr.CodeNotFound, "no route %s", r.URL.Path))
 }
 
+// HealthResponse is the GET /healthz body: liveness plus the overload
+// picture — the admission gate's counters and the engine's open-stream
+// count — so an operator (or a load balancer) sees shedding as numbers.
+type HealthResponse struct {
+	OK            bool           `json:"ok"`
+	Overload      overload.Stats `json:"overload"`
+	EngineStreams int            `json:"engineStreams"`
+}
+
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:            true,
+		Overload:      s.gate.Stats(),
+		EngineStreams: s.eng.OpenStreams(),
+	})
 }
 
 // snapshot is the per-request catalog view: one atomic load, consistent for
@@ -437,6 +507,17 @@ func (s *server) decodeClassifyRequest(sc *classifyScratch, r *http.Request, bod
 }
 
 func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	// Admission first, before the body is read: a shed request costs the
+	// server nothing but the refusal.
+	if err := s.limiter.Allow(tenant(r)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.gate.AcquireBatch(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.gate.ReleaseBatch()
 	sc := s.scratch.Get().(*classifyScratch)
 	defer s.scratch.Put(sc)
 	model, samples, err := s.decodeClassifyRequest(sc, r, http.MaxBytesReader(w, r.Body, maxClassifyBytes))
@@ -536,6 +617,22 @@ func (s *server) decodeChunkLine(buf []int32, line []byte) ([]int32, error) {
 // request start and keeps its model version for the whole request, however
 // the catalog changes meanwhile.
 func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	// Admission first: the rate limiter meters stream starts per tenant,
+	// then the gate decides whether a stream slot exists at all. At the
+	// shed threshold new streams are refused with the typed
+	// server_overloaded error (batch /v1/classify stays admitted — the
+	// ladder's "degrade to batch-only" rung); the client saw a contract
+	// error before a single body byte was read.
+	if err := s.limiter.Allow(tenant(r)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.gate.AcquireStream(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.gate.ReleaseStream()
+
 	// Beat lines go out while the request body is still uploading; without
 	// full duplex the HTTP/1 server discards the rest of the body on the
 	// first response write.
@@ -605,6 +702,9 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 		defer wmu.Unlock()
 		if !headerWritten {
 			headerWritten = true
+			if ae.Retryable() {
+				w.Header().Set("Retry-After", retryAfter)
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(ae.HTTPStatus())
 		}

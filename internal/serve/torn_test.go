@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rpbeat/internal/apierr"
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/wire"
+)
+
+// tornBody builds a two-frame binary body and returns it with the byte
+// offsets that are legitimate frame boundaries (where truncation is a clean
+// end of stream, not corruption).
+func tornBody(t *testing.T) (body []byte, boundaries map[int]bool) {
+	t.Helper()
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "torn", Seconds: 1, Seed: 21, PVCRate: 0}).Leads[0]
+	half := len(lead) / 2
+	b, err := wire.AppendFrame(nil, lead[:half])
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries = map[int]bool{0: true, len(b): true}
+	b, err = wire.AppendFrame(b, lead[half:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries[len(b)] = true
+	return b, boundaries
+}
+
+// TestTornFramesClassify truncates a binary /v1/classify body at every byte
+// boundary: every mid-frame cut must come back as the typed bad_input error
+// — never a hang, a reset, or a 500.
+func TestTornFramesClassify(t *testing.T) {
+	ts, _, _ := testServer(t)
+	body, boundaries := tornBody(t)
+
+	for cut := 0; cut <= len(body); cut++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/classify", wire.ContentTypeSamples, bytes.NewReader(body[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		switch {
+		case boundaries[cut] && cut == 0:
+			// Empty body: no samples is its own bad_input, message aside.
+			wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+		case boundaries[cut]:
+			if resp.StatusCode != http.StatusOK {
+				raw, _ := io.ReadAll(resp.Body)
+				t.Fatalf("clean cut %d: status %d (%s)", cut, resp.StatusCode, raw)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		default:
+			wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+		}
+	}
+}
+
+// TestTornFramesStream does the same over /v1/stream, the load-driver
+// uplink path. A torn frame must surface as a typed bad_input — either as
+// the response status (nothing streamed yet) or as a trailing NDJSON error
+// line (beats already out) — and the stream must always terminate: no
+// stuck handler, no panic.
+func TestTornFramesStream(t *testing.T) {
+	ts, _, _ := testServer(t)
+	body, boundaries := tornBody(t)
+
+	for cut := 0; cut <= len(body); cut++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/stream", wire.ContentTypeSamples, bytes.NewReader(body[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// Bound the whole read: a stuck stream fails fast instead of
+		// hanging the test binary.
+		read := make(chan []byte, 1)
+		go func() {
+			raw, _ := io.ReadAll(resp.Body)
+			read <- raw
+		}()
+		var raw []byte
+		select {
+		case raw = <-read:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("cut %d: stream never terminated", cut)
+		}
+		resp.Body.Close()
+
+		if boundaries[cut] {
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("clean cut %d: status %d (%s)", cut, resp.StatusCode, raw)
+			}
+			if !strings.Contains(string(raw), `"done":true`) {
+				t.Fatalf("clean cut %d: no done line in %q", cut, raw)
+			}
+			continue
+		}
+		// Torn: typed bad_input, wherever in the response it lands.
+		if resp.StatusCode == http.StatusOK {
+			lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+			var last ErrorResponse
+			if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil || last.Error.Code != apierr.CodeBadInput {
+				t.Fatalf("cut %d: last line %q, want trailing bad_input error line", cut, lines[len(lines)-1])
+			}
+		} else {
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("cut %d: status %d (%s), want 400", cut, resp.StatusCode, raw)
+			}
+			var body ErrorResponse
+			if err := json.Unmarshal(raw, &body); err != nil || body.Error.Code != apierr.CodeBadInput {
+				t.Fatalf("cut %d: body %q, want typed bad_input", cut, raw)
+			}
+		}
+	}
+}
