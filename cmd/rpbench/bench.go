@@ -37,18 +37,19 @@ const benchSchema = "rpbeat-bench-v1"
 
 // benchFile is the root JSON document.
 type benchFile struct {
-	Schema    string          `json:"schema"`
-	Created   string          `json:"created"` // RFC 3339, UTC
-	GoVersion string          `json:"go_version"`
-	GOOS      string          `json:"goos"`
-	GOARCH    string          `json:"goarch"`
-	NumCPU    int             `json:"num_cpu"`
-	Results   []benchResult   `json:"benchmarks"`
-	Pipeline  pipelineMetrics `json:"pipeline"`
-	Engine    engineBench     `json:"engine"`
-	Serve     serveBenchBlock `json:"serve"`
-	Fleet     fleetBenchBlock `json:"fleet"`
-	Matrix    matrixBytes     `json:"matrix_bytes"`
+	Schema    string            `json:"schema"`
+	Created   string            `json:"created"` // RFC 3339, UTC
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Results   []benchResult     `json:"benchmarks"`
+	Pipeline  pipelineMetrics   `json:"pipeline"`
+	Engine    engineBench       `json:"engine"`
+	Serve     serveBenchBlock   `json:"serve"`
+	Fleet     fleetBenchBlock   `json:"fleet"`
+	Gateway   gatewayBenchBlock `json:"gateway"`
+	Matrix    matrixBytes       `json:"matrix_bytes"`
 }
 
 // benchResult is one testing.Benchmark run.
@@ -328,6 +329,12 @@ func runJSONBench(dir string) (string, error) {
 	// --- fleet load: the whole stack under a synthetic patient fleet, up
 	// through the overload knee (see fleet.go) ---
 	if err := runFleetBench(&out); err != nil {
+		return "", err
+	}
+
+	// --- gateway tier: the same fleet through rpgate over three capped
+	// backends — goodput scaling and typed fleet-level shedding (gateway.go) ---
+	if err := runGatewayBench(&out); err != nil {
 		return "", err
 	}
 

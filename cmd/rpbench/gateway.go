@@ -1,0 +1,201 @@
+package main
+
+// The gateway experiment family: the multi-node serving path through
+// cmd/rpgate. Three rpserve backends (each with its own engine, catalog copy
+// and stream cap) sit behind one gateway; the fleet harness drives the
+// gateway exactly as cmd/rpload would. The sweep shows aggregate goodput
+// scaling past what one node's cap admits — the single_node_baseline row is
+// the same offered load against one backend directly — and the over-cap row
+// shows fleet-level shedding staying exactly typed, attributed per backend
+// via X-Rpbeat-Instance. The relay_chunk_360 row pins the relay loop's
+// steady-state cost: zero allocations per relayed chunk.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"rpbeat/internal/catalog"
+	"rpbeat/internal/gate"
+	"rpbeat/internal/load"
+	"rpbeat/internal/pipeline"
+	"rpbeat/internal/rng"
+	"rpbeat/internal/serve"
+	"rpbeat/internal/wire"
+)
+
+// gatewayBenchBlock is the "gateway" section of BENCH_<n>.json.
+type gatewayBenchBlock struct {
+	Backends             int     `json:"backends"`
+	MaxStreamsPerBackend int     `json:"max_streams_per_backend"`
+	Speedup              float64 `json:"speedup"`
+	RecordSeconds        float64 `json:"record_seconds"`
+	Workers              int     `json:"workers"`
+	// RelayAllocsPerOp is the allocation count of relaying one 360-sample
+	// chunk (gate.RelayCopy with a pooled buffer). Must stay 0 — the tested
+	// invariant TestRelayCopyZeroAlloc, measured here so the trajectory
+	// records it.
+	RelayAllocsPerOp int64 `json:"relay_allocs_per_op"`
+	// SingleNode is the same offered load as the at-capacity sweep row
+	// pointed at ONE backend directly: what the fleet loses without the
+	// gateway tier (everything past one node's cap sheds).
+	SingleNode load.Report `json:"single_node_baseline"`
+	// Sweep raises the fleet size through the aggregate 3-node capacity into
+	// overload; rows past it must shed with typed errors only.
+	Sweep []load.Report `json:"sweep"`
+}
+
+// gatewaySweepStreams returns fleet sizes around the aggregate cap: well
+// under, half, at, and 1.5x past it.
+func gatewaySweepStreams(aggregate int) []int {
+	return []int{aggregate / 4, aggregate / 2, aggregate, aggregate + aggregate/2}
+}
+
+// benchRelayChunk measures gate.RelayCopy on one 360-sample binary frame —
+// the steady-state unit of the gateway's data path.
+func benchRelayChunk() (testing.BenchmarkResult, error) {
+	r := rng.New(11)
+	samples := make([]int32, 360)
+	for i := range samples {
+		samples[i] = int32(r.Intn(2048))
+	}
+	frame, err := wire.AppendFrame(nil, samples)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	buf := make([]byte, 32<<10)
+	flush := func() error { return nil }
+	var src bytes.Reader
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Reset(frame)
+			if _, err := gate.RelayCopy(io.Discard, flush, &src, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), nil
+}
+
+// gatewayBackend is one in-process rpserve node for the gateway bench.
+type gatewayBackend struct {
+	eng *pipeline.Engine
+	ts  *httptest.Server
+}
+
+func (g *gatewayBackend) Close() {
+	g.ts.Close()
+	g.eng.Close()
+}
+
+// newGatewayBackend boots one backend with its own catalog copy. The model
+// seed is fixed, so every backend holds byte-identical model bytes — one
+// fleet digest, the invariant the gateway's divergence refusal guards.
+func newGatewayBackend(maxStreams, workers int, instance string) (*gatewayBackend, error) {
+	cat := catalog.New()
+	if _, err := cat.Put("bench", benchModel(rng.New(9), 8, 50, 4), nil); err != nil {
+		return nil, err
+	}
+	eng := pipeline.NewEngine(cat, pipeline.EngineConfig{Workers: workers, MaxStreams: maxStreams + 8})
+	ts := httptest.NewServer(serve.NewHandler(eng, serve.HandlerConfig{
+		MaxStreams: maxStreams,
+		Instance:   instance,
+	}))
+	return &gatewayBackend{eng: eng, ts: ts}, nil
+}
+
+// runGatewayBench fills out.Gateway and appends summary gateway/* rows to
+// out.Results.
+func runGatewayBench(out *benchFile) error {
+	const (
+		nBackends     = 3
+		maxStreamsPer = 48
+		speedup       = 8
+		recordSeconds = 10
+	)
+	workers := runtime.NumCPU()
+	aggregate := nBackends * maxStreamsPer
+
+	relayRes, err := benchRelayChunk()
+	if err != nil {
+		return err
+	}
+	out.Results = append(out.Results, record("gateway/relay_chunk_360", relayRes))
+
+	var backends []*gatewayBackend
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	urls := make([]string, 0, nBackends)
+	for i := 0; i < nBackends; i++ {
+		b, err := newGatewayBackend(maxStreamsPer, workers, fmt.Sprintf("b%d", i+1))
+		if err != nil {
+			return err
+		}
+		backends = append(backends, b)
+		urls = append(urls, b.ts.URL)
+	}
+
+	gw, err := gate.New(gate.Config{Backends: urls, HealthInterval: -1})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	gw.CheckNow(context.Background())
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+
+	out.Gateway = gatewayBenchBlock{
+		Backends:             nBackends,
+		MaxStreamsPerBackend: maxStreamsPer,
+		Speedup:              speedup,
+		RecordSeconds:        recordSeconds,
+		Workers:              workers,
+		RelayAllocsPerOp:     relayRes.AllocsPerOp(),
+	}
+
+	// Baseline: the at-capacity offered load against one backend directly.
+	// Without the gateway tier, two thirds of the fleet has nowhere to go.
+	single, err := load.Run(context.Background(), load.Config{
+		BaseURL: backends[0].ts.URL,
+		Streams: aggregate,
+		Seconds: recordSeconds,
+		Speedup: speedup,
+		Seed:    9,
+	})
+	if err != nil {
+		return err
+	}
+	out.Gateway.SingleNode = *single
+	out.Results = append(out.Results, benchResult{
+		Name:       fmt.Sprintf("gateway/single_node_streams_%d", aggregate),
+		Iterations: int(single.Beats),
+		NsPerOp:    single.BeatLatencyMsP99 * 1e6,
+	})
+
+	for _, streams := range gatewaySweepStreams(aggregate) {
+		rep, err := load.Run(context.Background(), load.Config{
+			BaseURL: gts.URL,
+			Streams: streams,
+			Seconds: recordSeconds,
+			Speedup: speedup,
+			Seed:    9,
+		})
+		if err != nil {
+			return err
+		}
+		out.Gateway.Sweep = append(out.Gateway.Sweep, *rep)
+		out.Results = append(out.Results, benchResult{
+			Name:       fmt.Sprintf("gateway/fleet_streams_%d", streams),
+			Iterations: int(rep.Beats),
+			NsPerOp:    rep.BeatLatencyMsP99 * 1e6,
+		})
+	}
+	return nil
+}

@@ -19,6 +19,13 @@
 //	rpload -server http://127.0.0.1:8080 -streams 200 -seconds 30 -speedup 8
 //	rpload -streams 400 -speedup 32 -batch 4 -json   # overload the knee
 //
+// -server also takes an rpgate gateway URL or a comma-separated backend
+// list (patient i targets entry i%N); each patient carries a deterministic
+// X-Stream-Id affinity token, so the same fleet seed produces the same
+// per-patient streams whatever the topology. Shed streams are attributed to
+// the refusing backend via its X-Rpbeat-Instance header (rpserve -instance)
+// in the shed_by_instance report section.
+//
 // Exit status is 0 whenever the run completed, shed streams included —
 // shedding is the server keeping its promise, not a client failure.
 package main
@@ -32,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,7 +48,7 @@ import (
 
 func main() {
 	var (
-		server  = flag.String("server", "http://127.0.0.1:8080", "rpserve base URL")
+		server  = flag.String("server", "http://127.0.0.1:8080", "target base URL: one rpserve, an rpgate gateway, or a comma-separated backend list (patient i targets entry i%N)")
 		streams = flag.Int("streams", 100, "fleet size: concurrent patient streams")
 		seconds = flag.Float64("seconds", 30, "record length per patient, seconds of signal")
 		speedup = flag.Float64("speedup", 8, "cadence multiplier over real time (0 = firehose, no pacing)")
@@ -65,8 +73,18 @@ func main() {
 		defer cancel()
 	}
 
+	var targets []string
+	for _, t := range strings.Split(*server, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(targets) == 0 {
+		log.Fatal("-server: no target URLs")
+	}
+
 	cfg := load.Config{
-		BaseURL:       *server,
+		BaseURLs:      targets,
 		Streams:       *streams,
 		Seconds:       *seconds,
 		Speedup:       *speedup,
@@ -79,7 +97,7 @@ func main() {
 	}
 	if !*jsonOut {
 		log.Printf("fleet of %d streams x %gs records at x%g cadence against %s",
-			cfg.Streams, cfg.Seconds, cfg.Speedup, cfg.BaseURL)
+			cfg.Streams, cfg.Seconds, cfg.Speedup, strings.Join(targets, ", "))
 	}
 	start := time.Now()
 	rep, err := load.Run(ctx, cfg)
@@ -104,6 +122,17 @@ func main() {
 		rep.BeatLatencyMsP50, rep.BeatLatencyMsP99, rep.BeatLatencyMsP999, rep.BeatLatencyMsMax)
 	if rep.BatchRequests > 0 {
 		fmt.Printf("batch:   %d/%d ok\n", rep.BatchOK, rep.BatchRequests)
+	}
+	if len(rep.ShedByInstance) > 0 {
+		instances := make([]string, 0, len(rep.ShedByInstance))
+		for inst := range rep.ShedByInstance {
+			instances = append(instances, inst)
+		}
+		sort.Strings(instances)
+		fmt.Printf("shed by instance:\n")
+		for _, inst := range instances {
+			fmt.Printf("  %-20s %d\n", inst, rep.ShedByInstance[inst])
+		}
 	}
 	if len(rep.ErrorCounts) > 0 {
 		codes := make([]string, 0, len(rep.ErrorCounts))

@@ -97,6 +97,7 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "in-flight /v1/classify cap, the shed ladder's second rung (0 = unlimited)")
 		rate       = flag.Float64("rate", 0, "per-tenant request rate limit, req/s (X-Tenant header or client IP; 0 = unlimited)")
 		burst      = flag.Float64("burst", 0, "per-tenant token-bucket depth (0 = max(1, -rate))")
+		instance   = flag.String("instance", "", "replica name sent as X-Rpbeat-Instance on every response (how a gateway tier attributes shedding; empty = none)")
 	)
 	// Flag order decides import order, so keep a slice, not a map.
 	type namedModel struct{ name, path string }
@@ -208,6 +209,7 @@ func main() {
 			MaxBatch:      *maxBatch,
 			RatePerTenant: *rate,
 			RateBurst:     *burst,
+			Instance:      *instance,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}

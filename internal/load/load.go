@@ -49,6 +49,13 @@ const DefaultChunk = 180
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// BaseURLs drives a multi-target topology instead: patient i sends to
+	// BaseURLs[i % len(BaseURLs)]. One entry pointing at an rpgate gateway
+	// and N entries pointing at rpserve backends directly are both valid
+	// fleets — the synthesized per-patient traffic is identical either way
+	// (the per-patient seed and X-Stream-Id depend only on Seed and i).
+	// When non-empty, BaseURL is ignored.
+	BaseURLs []string
 	// Streams is the fleet size: concurrent patient streams.
 	Streams int
 	// Seconds is each patient's record length (default 30).
@@ -88,7 +95,10 @@ type Config struct {
 // Report is the fleet run's outcome, shaped for JSON (rpload -json and the
 // rpbench fleet family embed it verbatim).
 type Report struct {
-	Streams       int     `json:"streams"`
+	Streams int `json:"streams"`
+	// Targets is how many distinct base URLs the fleet was spread over
+	// (1 for a single server or a gateway).
+	Targets       int     `json:"targets,omitempty"`
 	RecordSeconds float64 `json:"record_seconds"`
 	Speedup       float64 `json:"speedup"`
 	Chunk         int     `json:"chunk"`
@@ -120,6 +130,12 @@ type Report struct {
 	// ErrorCounts tallies every typed error code the server returned,
 	// plus "transport" for failures below the HTTP contract.
 	ErrorCounts map[string]int64 `json:"error_counts,omitempty"`
+
+	// ShedByInstance attributes shed streams to the backend that refused
+	// them, keyed by the refusal's X-Rpbeat-Instance response header (set
+	// with rpserve -instance; relayed verbatim through rpgate). Refusals
+	// without the header are not counted here — only in StreamsShed.
+	ShedByInstance map[string]int64 `json:"shed_by_instance,omitempty"`
 }
 
 // PatientSeed derives patient i's record seed from the fleet seed: a
@@ -132,10 +148,20 @@ func PatientSeed(fleetSeed uint64, patient int) uint64 {
 	return z ^ (z >> 31)
 }
 
+// StreamID is patient i's affinity token, sent as X-Stream-Id on its
+// stream. It derives from the same (Seed, i) pair as the patient's record,
+// so a fleet run produces identical per-patient streams — same bytes, same
+// identity — whatever topology it is pointed at (one server, a backend
+// list, or a gateway that hashes this token onto its pool).
+func StreamID(fleetSeed uint64, patient int) string {
+	return fmt.Sprintf("patient-%016x", PatientSeed(fleetSeed, patient))
+}
+
 // fleet is one run's shared state.
 type fleet struct {
-	cfg    Config
-	client *http.Client
+	cfg     Config
+	targets []string // resolved base URLs; worker i uses targets[i%len]
+	client  *http.Client
 
 	records []*ecgsyn.Record
 	synth   []sync.Once
@@ -153,6 +179,19 @@ func (f *fleet) countErr(code string) {
 	f.report.ErrorCounts[code]++
 	f.mu.Unlock()
 }
+
+// countShed attributes one shed stream to the refusing backend instance.
+func (f *fleet) countShed(instance string) {
+	f.mu.Lock()
+	if f.report.ShedByInstance == nil {
+		f.report.ShedByInstance = make(map[string]int64)
+	}
+	f.report.ShedByInstance[instance]++
+	f.mu.Unlock()
+}
+
+// target is worker i's base URL.
+func (f *fleet) target(i int) string { return f.targets[i%len(f.targets)] }
 
 // record returns (synthesizing on first use) the shared record for patient i.
 func (f *fleet) record(i int) *ecgsyn.Record {
@@ -188,8 +227,17 @@ type streamLine struct {
 // is assembled. The error return is reserved for configuration problems;
 // per-stream failures are data, tallied in the report.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("load: BaseURL required")
+	targets := cfg.BaseURLs
+	if len(targets) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("load: BaseURL (or BaseURLs) required")
+		}
+		targets = []string{cfg.BaseURL}
+	}
+	for _, t := range targets {
+		if t == "" {
+			return nil, fmt.Errorf("load: empty entry in BaseURLs")
+		}
 	}
 	if cfg.Streams <= 0 {
 		cfg.Streams = 1
@@ -223,12 +271,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	f := &fleet{
 		cfg:     cfg,
+		targets: targets,
 		client:  client,
 		records: make([]*ecgsyn.Record, unique),
 		synth:   make([]sync.Once, unique),
 	}
 	f.report = Report{
 		Streams:       cfg.Streams,
+		Targets:       len(targets),
 		RecordSeconds: cfg.Seconds,
 		Speedup:       cfg.Speedup,
 		Chunk:         cfg.Chunk,
@@ -296,7 +346,7 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 	sendNanos := make([]int64, nChunks)
 
 	pr, pw := io.Pipe()
-	url := f.cfg.BaseURL + "/v1/stream"
+	url := f.target(i) + "/v1/stream"
 	if f.cfg.Model != "" {
 		url += "?model=" + f.cfg.Model
 	}
@@ -307,6 +357,9 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 		return
 	}
 	req.Header.Set("Content-Type", wire.ContentTypeSamples)
+	// The affinity token: deterministic per (Seed, i), so a gateway pins
+	// this patient to the same backend run after run.
+	req.Header.Set("X-Stream-Id", StreamID(f.cfg.Seed, i))
 	if f.cfg.Tenant != "" {
 		req.Header.Set("X-Tenant", f.cfg.Tenant)
 	}
@@ -378,6 +431,9 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 		f.countErr(code)
 		if body.Error.Retryable() {
 			atomic.AddInt64(&f.report.StreamsShed, 1)
+			if inst := resp.Header.Get("X-Rpbeat-Instance"); inst != "" {
+				f.countShed(inst)
+			}
 		} else {
 			atomic.AddInt64(&f.report.StreamsFailed, 1)
 		}
@@ -445,7 +501,7 @@ func (f *fleet) runBatch(ctx context.Context, i int) {
 		f.countErr("transport")
 		return
 	}
-	url := f.cfg.BaseURL + "/v1/classify"
+	url := f.target(i) + "/v1/classify"
 	if f.cfg.Model != "" {
 		url += "?model=" + f.cfg.Model
 	}

@@ -1,0 +1,123 @@
+package load
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// captureServer records, per X-Stream-Id, the digest of every uploaded
+// stream body and answers with a valid done line so the fleet counts the
+// stream as OK.
+type captureServer struct {
+	mu     sync.Mutex
+	bodies map[string]string // stream id -> hex digest of the raw upload
+	ts     *httptest.Server
+}
+
+func newCaptureServer(t *testing.T) *captureServer {
+	t.Helper()
+	c := &captureServer{bodies: make(map[string]string)}
+	c.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		id := r.Header.Get("X-Stream-Id")
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("capture read: %v", err)
+			return
+		}
+		sum := sha256.Sum256(body)
+		c.mu.Lock()
+		if prev, dup := c.bodies[id]; dup && prev != hex.EncodeToString(sum[:]) {
+			t.Errorf("stream id %q uploaded twice with different bytes", id)
+		}
+		c.bodies[id] = hex.EncodeToString(sum[:])
+		c.mu.Unlock()
+		fmt.Fprintf(w, "{\"done\":true,\"beats\":0,\"samples\":%d}\n", 0)
+	}))
+	t.Cleanup(c.ts.Close)
+	return c
+}
+
+// merged combines the recordings of several capture servers; stream ids are
+// globally unique so a plain union is safe.
+func merged(t *testing.T, servers ...*captureServer) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, c := range servers {
+		c.mu.Lock()
+		for id, digest := range c.bodies {
+			if _, dup := out[id]; dup {
+				t.Fatalf("stream id %q seen on two targets", id)
+			}
+			out[id] = digest
+		}
+		c.mu.Unlock()
+	}
+	return out
+}
+
+// TestFleetTopologyDeterminism: the same (Seed, Streams) fleet produces the
+// same per-patient stream — same X-Stream-Id, same uploaded bytes — whether
+// it targets one server or is split across two. Topology routes traffic; it
+// never changes it.
+func TestFleetTopologyDeterminism(t *testing.T) {
+	const streams = 8
+	cfg := Config{
+		Streams: streams,
+		Seconds: 2,
+		Speedup: 0, // firehose: this test is about bytes, not pacing
+		Seed:    7,
+	}
+
+	single := newCaptureServer(t)
+	cfg.BaseURLs = []string{single.ts.URL}
+	rep1, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Targets != 1 || rep1.StreamsOK != streams {
+		t.Fatalf("single-target run: targets=%d ok=%d, want 1/%d", rep1.Targets, rep1.StreamsOK, streams)
+	}
+
+	a, b := newCaptureServer(t), newCaptureServer(t)
+	cfg.BaseURLs = []string{a.ts.URL, b.ts.URL}
+	rep2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Targets != 2 || rep2.StreamsOK != streams {
+		t.Fatalf("split-target run: targets=%d ok=%d, want 2/%d", rep2.Targets, rep2.StreamsOK, streams)
+	}
+	if len(a.bodies) == 0 || len(b.bodies) == 0 {
+		t.Fatalf("split fleet did not use both targets: %d vs %d streams", len(a.bodies), len(b.bodies))
+	}
+
+	mono, split := merged(t, single), merged(t, a, b)
+	if len(mono) != streams || len(split) != streams {
+		t.Fatalf("stream id counts %d vs %d, want %d each", len(mono), len(split), streams)
+	}
+	for i := 0; i < streams; i++ {
+		id := StreamID(cfg.Seed, i)
+		dm, ok := mono[id]
+		if !ok {
+			t.Fatalf("single-target run missing stream id %s", id)
+		}
+		ds, ok := split[id]
+		if !ok {
+			t.Fatalf("split-target run missing stream id %s", id)
+		}
+		if dm != ds {
+			t.Fatalf("patient %d (%s): upload bytes differ across topologies", i, id)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestInstanceHeader: a replica configured with Instance stamps
+// X-Rpbeat-Instance on every response — success, typed refusal, even an
+// unknown route — and echoes the client's X-Stream-Id affinity token. This
+// is how a gateway tier (internal/gate) and the load harness attribute
+// shedding to the backend that did it.
+func TestInstanceHeader(t *testing.T) {
+	ts := testServerWith(t, HandlerConfig{Instance: "b7"})
+
+	do := func(method, path string, hdr map[string]string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	cases := []struct {
+		name, method, path string
+		wantStatus         int
+	}{
+		{"healthz", http.MethodGet, "/healthz", http.StatusOK},
+		{"typed not found", http.MethodGet, "/v1/models/nope", http.StatusNotFound},
+		{"unknown route", http.MethodGet, "/v1/bogus", http.StatusNotFound},
+		{"wrong method", http.MethodGet, "/v1/classify", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		resp := do(tc.method, tc.path, map[string]string{"X-Stream-Id": "patient-42"})
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+		if got := resp.Header.Get("X-Rpbeat-Instance"); got != "b7" {
+			t.Fatalf("%s: X-Rpbeat-Instance %q, want b7", tc.name, got)
+		}
+		if got := resp.Header.Get("X-Stream-Id"); got != "patient-42" {
+			t.Fatalf("%s: X-Stream-Id echo %q, want patient-42", tc.name, got)
+		}
+	}
+
+	// Without Instance configured, no header is invented.
+	plain := testServerWith(t, HandlerConfig{})
+	resp, err := plain.Client().Get(plain.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Rpbeat-Instance"); got != "" {
+		t.Fatalf("unconfigured replica leaked X-Rpbeat-Instance %q", got)
+	}
+}

@@ -116,6 +116,11 @@ type HandlerConfig struct {
 	// RateBurst is the token-bucket depth per tenant; default
 	// max(1, RatePerTenant).
 	RateBurst float64
+	// Instance names this server replica. When set, every response — typed
+	// refusals included — carries it as the X-Rpbeat-Instance header, so a
+	// gateway tier (cmd/rpgate) and its load clients can attribute shedding
+	// and results to the backend that produced them.
+	Instance string
 }
 
 type server struct {
@@ -176,7 +181,28 @@ func NewHandler(eng *pipeline.Engine, cfg HandlerConfig) http.Handler {
 		mux.HandleFunc(path, s.methodNotAllowed)
 	}
 	mux.HandleFunc("/", s.notFound)
-	return mux
+	return affinityHeaders{next: mux, instance: cfg.Instance}
+}
+
+// affinityHeaders decorates every response with the multi-node attribution
+// headers: the replica's X-Rpbeat-Instance identity (when configured) and
+// an echo of the client's X-Stream-Id affinity token. Both are set before
+// the wrapped handler runs, so they ride along on success bodies, typed
+// refusals and streamed NDJSON alike — which is what lets a gateway client
+// attribute a shed stream to the backend that refused it.
+type affinityHeaders struct {
+	next     http.Handler
+	instance string
+}
+
+func (a affinityHeaders) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.instance != "" {
+		w.Header().Set("X-Rpbeat-Instance", a.instance)
+	}
+	if id := r.Header.Get("X-Stream-Id"); id != "" {
+		w.Header().Set("X-Stream-Id", id)
+	}
+	a.next.ServeHTTP(w, r)
 }
 
 // classifyScratch is one request's reusable buffer set. The decoded sample
