@@ -1,0 +1,456 @@
+// Package allocfree flags allocation-inducing constructs inside functions
+// annotated //rpbeat:allocfree — the statically-enforced half of the
+// repo's 0 allocs/op invariant. The runtime AllocsPerRun tests prove the
+// property on the paths a test happens to drive; this analyzer proves the
+// absence of allocation *sources* over the whole function body, on every
+// build.
+package allocfree
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rpbeat/internal/analysis"
+)
+
+// Marker is the annotation that opts a function into this analyzer.
+const Marker = "//rpbeat:allocfree"
+
+// Analyzer flags make/new, escaping composite literals, appends onto
+// fresh local slices, string<->[]byte conversions, interface boxing,
+// fmt.* calls and capturing closures inside //rpbeat:allocfree functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "report allocation-inducing constructs in //rpbeat:allocfree functions\n\n" +
+		"A function carrying the //rpbeat:allocfree directive in its doc\n" +
+		"comment promises the 0 allocs/op steady-state contract. The analyzer\n" +
+		"flags: make/new calls; composite literals that escape (&T{...}, or\n" +
+		"slice/map literals); append onto a slice that is not rooted in a\n" +
+		"parameter, the receiver, or a callee's result; string<->[]byte\n" +
+		"conversions outside == / != comparisons; non-constant, non-pointer\n" +
+		"arguments boxed into interface parameters; any fmt.* call; and\n" +
+		"closures that capture enclosing locals.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+// marked reports whether the function's doc comment carries the directive.
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == Marker {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	fd     *ast.FuncDecl
+	params map[types.Object]bool // parameters and receiver
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, fd: fd, params: make(map[types.Object]bool)}
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					c.params[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+
+	// Walk with an explicit parent stack: the conversion check needs to see
+	// whether the expression sits inside a == / != comparison, and the
+	// composite-literal check whether its address is taken.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		c.node(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (c *checker) node(n ast.Node, stack []ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.call(n, stack)
+	case *ast.CompositeLit:
+		c.compositeLit(n, stack)
+	case *ast.FuncLit:
+		c.funcLit(n)
+	}
+}
+
+func (c *checker) call(call *ast.CallExpr, stack []ast.Node) {
+	info := c.pass.TypesInfo
+
+	// Builtins: make and new always allocate; append is checked by origin.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				c.pass.Reportf(call.Pos(), "allocfree function %s calls %s", c.fd.Name.Name, b.Name())
+			case "append":
+				c.append(call)
+			}
+			return
+		}
+	}
+
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		c.conversion(call, tv.Type, stack)
+		return
+	}
+
+	if pkg, sel := callPkg(info, call); pkg == "fmt" {
+		c.pass.Reportf(call.Pos(), "allocfree function %s calls fmt.%s", c.fd.Name.Name, sel)
+		return
+	}
+
+	c.boxing(call, tv)
+}
+
+// conversion flags string<->[]byte conversions. Exemptions: constant
+// operands (no runtime conversion) and conversions compared with == or !=
+// (the compiler elides the copy there).
+func (c *checker) conversion(call *ast.CallExpr, target types.Type, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argTV := c.pass.TypesInfo.Types[call.Args[0]]
+	src := argTV.Type
+	if src == nil || argTV.Value != nil {
+		return
+	}
+	s2b := isString(src) && isByteSlice(target)
+	b2s := isByteSlice(src) && isString(target)
+	if !s2b && !b2s {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.BinaryExpr:
+			if p.Op == token.EQL || p.Op == token.NEQ {
+				return
+			}
+		}
+		break
+	}
+	c.pass.Reportf(call.Pos(), "allocfree function %s converts %s", c.fd.Name.Name, map[bool]string{true: "string to []byte", false: "[]byte to string"}[s2b])
+}
+
+// boxing flags arguments passed into interface-typed parameters when the
+// conversion allocates: constants are wired into read-only data, nil is
+// free, and pointer-shaped values (pointers, channels, maps, funcs) fit an
+// interface word directly.
+func (c *checker) boxing(call *ast.CallExpr, funTV types.TypeAndValue) {
+	sig, ok := funTV.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	info := c.pass.TypesInfo
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				if i != params.Len()-1 {
+					continue
+				}
+				pt = params.At(params.Len() - 1).Type() // x... passes the slice itself
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv := info.Types[arg]
+		at := atv.Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if atv.Value != nil && atv.Value.Kind() != constant.Unknown {
+			continue // constant: boxed into static data at compile time
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if pointerShaped(at) {
+			continue
+		}
+		c.pass.Reportf(arg.Pos(), "allocfree function %s boxes %s into interface argument", c.fd.Name.Name, types.TypeString(at, types.RelativeTo(c.pass.Pkg)))
+	}
+}
+
+// append flags appends whose destination is not rooted in a parameter, the
+// receiver, or a value produced by a callee — the shapes under the caller's
+// amortized-capacity control. Appending to a fresh local (var s []T, or a
+// literal) grows from zero and allocates on the hot path.
+func (c *checker) append(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := call.Args[0]
+	root, viaCall := rootOf(base)
+	if viaCall {
+		return
+	}
+	if root == nil {
+		c.pass.Reportf(call.Pos(), "allocfree function %s appends to a freshly allocated slice", c.fd.Name.Name)
+		return
+	}
+	obj := c.pass.TypesInfo.Uses[root]
+	if obj == nil || c.params[obj] {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if v.Parent() == c.pass.Pkg.Scope() {
+			return // package-level slice: preallocated once, not per-op
+		}
+		if c.localFedByCallOrParam(obj) {
+			return
+		}
+	}
+	c.pass.Reportf(call.Pos(), "allocfree function %s appends to local slice %s with no parameter- or callee-provided backing", c.fd.Name.Name, root.Name)
+}
+
+// localFedByCallOrParam reports whether any assignment to the local (other
+// than self-reslicing) takes its value from a call result or a
+// parameter-rooted expression — i.e. the backing array came from outside
+// this function.
+func (c *checker) localFedByCallOrParam(obj types.Object) bool {
+	info := c.pass.TypesInfo
+	fed := false
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if fed {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || (info.Defs[id] != obj && info.Uses[id] != obj) {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else {
+				rhs = as.Rhs[0] // multi-value call: a call result by definition
+			}
+			root, viaCall := rootOf(rhs)
+			if viaCall {
+				// append(obj, ...) self-growth feeds nothing new.
+				if callee, ok := rhs.(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(callee.Fun).(*ast.Ident); ok {
+						if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+							continue
+						}
+					}
+				}
+				fed = true
+				return false
+			}
+			if root != nil {
+				ro := info.Uses[root]
+				if ro != nil && ro != obj && (c.params[ro] || c.localIsParamLike(ro)) {
+					fed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return fed
+}
+
+// localIsParamLike is the one-level transitive case: a local that itself
+// was fed by a call or parameter.
+func (c *checker) localIsParamLike(obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	if c.params[obj] {
+		return true
+	}
+	return c.localFedByCallOrParam(obj)
+}
+
+// funcLit flags closures that capture enclosing locals — each such literal
+// materializes a heap closure (and often moves the captured variable to the
+// heap with it).
+func (c *checker) funcLit(fl *ast.FuncLit) {
+	info := c.pass.TypesInfo
+	var captured types.Object
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.Parent() == c.pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal.
+		if v.Pos() >= c.fd.Pos() && v.Pos() < c.fd.End() && (v.Pos() < fl.Pos() || v.Pos() >= fl.End()) {
+			captured = v
+			return false
+		}
+		return true
+	})
+	if captured != nil {
+		c.pass.Reportf(fl.Pos(), "allocfree function %s creates a closure capturing %s", c.fd.Name.Name, captured.Name())
+	}
+}
+
+// rootOf unwraps selector/index/slice/deref chains to the leftmost
+// identifier. viaCall is true when the chain bottoms out in a function
+// call (a callee-provided value).
+func rootOf(e ast.Expr) (root *ast.Ident, viaCall bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, false
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil, true
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// callPkg resolves a call of the form pkg.F(...) to its package path base
+// and selector name, or "", "".
+func callPkg(info *types.Info, call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+func (c *checker) compositeLit(lit *ast.CompositeLit, stack []ast.Node) {
+	t := c.pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		c.pass.Reportf(lit.Pos(), "allocfree function %s builds a %s literal", c.fd.Name.Name, kindName(t))
+		return
+	}
+	// A plain struct or array literal lives in registers or on the stack —
+	// unless its address is taken, which forces it to the heap whenever the
+	// pointer escapes.
+	if len(stack) > 0 {
+		if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			c.pass.Reportf(lit.Pos(), "allocfree function %s takes the address of a composite literal", c.fd.Name.Name)
+		}
+	}
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// pointerShaped reports whether values of the type fit an interface's data
+// word without a heap copy.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"rpbeat/internal/analysis/allocfree"
+	"rpbeat/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), allocfree.Analyzer, "allocfree")
+}

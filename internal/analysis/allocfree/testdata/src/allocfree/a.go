@@ -1,0 +1,122 @@
+// Fixtures for the allocfree analyzer: each hot* function carries the
+// //rpbeat:allocfree directive; `want` comments mark the expected
+// diagnostics, directive-carrying functions without them are the negative
+// cases.
+package allocfree
+
+import "fmt"
+
+type obj struct{ buf []int32 }
+
+//rpbeat:allocfree
+func hotMake(n int) []byte {
+	b := make([]byte, n) // want `calls make`
+	return b
+}
+
+//rpbeat:allocfree
+func hotNew() *obj {
+	return new(obj) // want `calls new`
+}
+
+//rpbeat:allocfree
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want `builds a slice literal`
+}
+
+//rpbeat:allocfree
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `builds a map literal`
+}
+
+//rpbeat:allocfree
+func hotAddrLit() *obj {
+	return &obj{} // want `address of a composite literal`
+}
+
+//rpbeat:allocfree
+func hotValueLit() obj {
+	return obj{} // value literal: registers or stack, no heap traffic
+}
+
+//rpbeat:allocfree
+func hotAppendLocal(x int32) []int32 {
+	var s []int32
+	s = append(s, x) // want `appends to local slice s`
+	return s
+}
+
+//rpbeat:allocfree
+func hotAppendParam(dst []int32, x int32) []int32 {
+	return append(dst, x) // caller controls the capacity
+}
+
+//rpbeat:allocfree
+func (o *obj) hotAppendRecv(x int32) {
+	o.buf = append(o.buf, x) // receiver-rooted: amortized by the owner
+}
+
+//rpbeat:allocfree
+func hotAppendFromCallee(x int32) []int32 {
+	s := borrow()
+	s = append(s, x) // backing came from the callee
+	return s
+}
+
+func borrow() []int32 { return nil }
+
+//rpbeat:allocfree
+func hotConvS2B(s string) []byte {
+	return []byte(s) // want `converts string to \[\]byte`
+}
+
+//rpbeat:allocfree
+func hotConvB2S(b []byte) string {
+	return string(b) // want `converts \[\]byte to string`
+}
+
+//rpbeat:allocfree
+func hotConvCompare(b []byte, s string) bool {
+	return string(b) == s // comparison context: the compiler elides the copy
+}
+
+//rpbeat:allocfree
+func hotFmt(n int) {
+	fmt.Println(n) // want `calls fmt\.Println`
+}
+
+func sink(v any) {}
+
+//rpbeat:allocfree
+func hotBox(n int) {
+	sink(n) // want `boxes int into interface`
+}
+
+//rpbeat:allocfree
+func hotBoxConst() {
+	sink("static") // constants box into read-only static data
+}
+
+//rpbeat:allocfree
+func hotBoxPointer(o *obj) {
+	sink(o) // pointers fit the interface data word directly
+}
+
+//rpbeat:allocfree
+func hotClosure() func() int {
+	n := 0
+	return func() int { // want `closure capturing n`
+		n++
+		return n
+	}
+}
+
+//rpbeat:allocfree
+func hotSuppressed() *obj {
+	//rpvet:allow allocfree -- fixture: demonstrates per-site suppression
+	return &obj{}
+}
+
+func coldPath() *obj {
+	return &obj{} // unannotated function: anything goes
+}

@@ -1,0 +1,25 @@
+// Package apierr is a fixture stub of the real rpbeat/internal/apierr:
+// just enough surface for the apierrcheck fixtures to exercise sink
+// detection (From) and typed construction (New).
+package apierr
+
+type Code string
+
+// Error is the typed wire error.
+type Error struct {
+	Code    Code
+	Message string
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// New builds a typed error.
+func New(code Code, msg string) *Error { return &Error{Code: code, Message: msg} }
+
+// From coerces any error into a typed one.
+func From(err error) *Error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	return &Error{Code: "internal", Message: err.Error()}
+}

@@ -1,0 +1,20 @@
+// Negative fixture: the same raw-error-to-sink shape OUTSIDE
+// internal/serve and internal/gate — apierrcheck scopes to the wire tiers
+// and must stay silent here.
+package other
+
+import (
+	"errors"
+	"io"
+
+	"rpbeat/internal/apierr"
+)
+
+func writeErr(w io.Writer, err error) {
+	ae := apierr.From(err)
+	w.Write([]byte(ae.Message))
+}
+
+func handle(w io.Writer) {
+	writeErr(w, errors.New("internal tier, not wire-facing"))
+}

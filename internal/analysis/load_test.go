@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := ModuleInfo(dir); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestModuleInfo(t *testing.T) {
+	root := repoRoot(t)
+	mod, err := ModuleInfo(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod != "rpbeat" {
+		t.Fatalf("module path = %q, want rpbeat", mod)
+	}
+}
+
+func TestModulePackagesSkipsTestdata(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := ModulePackages("rpbeat", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Contains(pkgs, "rpbeat/internal/analysis") {
+		t.Fatalf("missing rpbeat/internal/analysis in %v", pkgs)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("testdata package leaked into enumeration: %s", p)
+		}
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	root := repoRoot(t)
+	all, err := ExpandPatterns("rpbeat", root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 10 {
+		t.Fatalf("expected the full module, got %d packages", len(all))
+	}
+
+	sub, err := ExpandPatterns("rpbeat", root, []string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sub {
+		if !strings.HasPrefix(p, "rpbeat/internal/analysis") {
+			t.Fatalf("subtree pattern matched %s", p)
+		}
+	}
+	if len(sub) < 5 {
+		t.Fatalf("subtree expansion too small: %v", sub)
+	}
+
+	one, err := ExpandPatterns("rpbeat", root, []string{"./internal/wire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != "rpbeat/internal/wire" {
+		t.Fatalf("single pattern = %v", one)
+	}
+
+	if _, err := ExpandPatterns("rpbeat", root, []string{"./no/such/pkg"}); err == nil {
+		t.Fatal("expected an error for an unknown pattern")
+	}
+}
+
+// TestLoadTypeChecks proves the loader produces a usable types.Info for a
+// real module package with module-internal and stdlib imports.
+func TestLoadTypeChecks(t *testing.T) {
+	root := repoRoot(t)
+	l := NewLoader("rpbeat", root)
+	pkg, err := l.Load("rpbeat/internal/apierr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "apierr" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	if len(pkg.Info.Defs) == 0 {
+		t.Fatal("no definitions recorded — types.Info not populated")
+	}
+	// Memoized: the same package comes back identical.
+	again, err := l.Load("rpbeat/internal/apierr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("loader did not memoize the package")
+	}
+}

@@ -1,0 +1,355 @@
+// Package poolcheck enforces the sync.Pool discipline the buffer pools
+// (lineBufs, chunk buffers, classify scratch) rely on: a value obtained
+// from Pool.Get must go back via Pool.Put on every return path of the
+// acquiring function — or be returned to the caller, which transfers
+// ownership — and must never be stored into a field, global, channel or
+// composite value, where it would outlive the acquisition and alias a
+// recycled buffer.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rpbeat/internal/analysis"
+)
+
+// Analyzer flags sync.Pool.Get values that leak a return path or escape
+// the acquiring function.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc: "report sync.Pool.Get values not Put on every return path or escaping the function\n\n" +
+		"For each x := pool.Get() (with or without a type assertion) the\n" +
+		"analyzer walks the remaining statements of the acquiring scope and\n" +
+		"requires a pool Put of x — direct, deferred, or inside a deferred\n" +
+		"closure — before every return and before falling off the scope's\n" +
+		"end. Returning x transfers ownership and waives the Put on that\n" +
+		"path. Independently, storing x into a struct field, package\n" +
+		"variable, map/slice element or channel is always flagged. The\n" +
+		"comma-ok form `if x, ok := pool.Get().(*T); ok { ... }` is\n" +
+		"understood: only the ok branch holds a pool value.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body; closures are analyzed as their own
+// acquiring scope — a Get inside a closure must be balanced inside it.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass}
+	c.scanList(body.List)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// scanList finds pool acquisitions directly in a statement list and tracks
+// each across the list's remainder; nested blocks are scanned recursively
+// so acquisitions inside an if/for/switch body are tracked within their
+// own scope.
+func (c *checker) scanList(stmts []ast.Stmt) {
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if obj, getPos, ok := c.acquisition(st); ok {
+				tr := &tracker{pass: c.pass, obj: obj}
+				if !tr.scan(stmts[i+1:], false) {
+					tr.reportLeak(getPos, "falls out of scope")
+				}
+				tr.checkEscapes(stmts[i+1:])
+			}
+		case *ast.IfStmt:
+			if init, ok := st.Init.(*ast.AssignStmt); ok {
+				if obj, getPos, ok := c.acquisition(init); ok {
+					// Comma-ok assert: the not-ok branch holds no pool
+					// value, so only the ok body is tracked.
+					tr := &tracker{pass: c.pass, obj: obj}
+					if !tr.scan(st.Body.List, false) {
+						tr.reportLeak(getPos, "falls out of the if body")
+					}
+					tr.checkEscapes(st.Body.List)
+				}
+			}
+		}
+		c.scanNested(s)
+	}
+}
+
+// scanNested descends into block-bearing statements so Gets in inner
+// scopes are found too.
+func (c *checker) scanNested(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		c.scanList(st.List)
+	case *ast.IfStmt:
+		c.scanList(st.Body.List)
+		if st.Else != nil {
+			c.scanNested(st.Else)
+		}
+	case *ast.ForStmt:
+		c.scanList(st.Body.List)
+	case *ast.RangeStmt:
+		c.scanList(st.Body.List)
+	case *ast.SwitchStmt:
+		for _, cc := range st.Body.List {
+			c.scanList(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			c.scanList(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			c.scanList(cc.(*ast.CommClause).Body)
+		}
+	case *ast.LabeledStmt:
+		c.scanNested(st.Stmt)
+	}
+}
+
+// acquisition matches x := pool.Get(), x := pool.Get().(*T) and
+// x, ok := pool.Get().(*T), returning the acquired variable.
+func (c *checker) acquisition(as *ast.AssignStmt) (types.Object, token.Pos, bool) {
+	if len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+		return nil, token.NoPos, false
+	}
+	rhs := ast.Unparen(as.Rhs[0])
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ast.Unparen(ta.X)
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isPoolMethod(c.pass.TypesInfo, call, "Get") {
+		return nil, token.NoPos, false
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, token.NoPos, false
+	}
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return nil, token.NoPos, false
+	}
+	return obj, call.Pos(), true
+}
+
+type tracker struct {
+	pass *analysis.Pass
+	obj  types.Object
+}
+
+func (tr *tracker) reportLeak(pos token.Pos, how string) {
+	tr.pass.Reportf(pos, "sync.Pool value %s %s without being Put back", tr.obj.Name(), how)
+}
+
+// scan walks a statement list with the pool value live and `released`
+// telling whether a Put (or defer Put) already covers the path. It reports
+// returns that leak and returns whether the value is released when control
+// falls off the end of the list.
+func (tr *tracker) scan(stmts []ast.Stmt, released bool) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.DeferStmt:
+			if tr.releases(st.Call) {
+				released = true
+			}
+		case *ast.GoStmt:
+			if tr.releases(st.Call) {
+				released = true
+			}
+		case *ast.ReturnStmt:
+			if !released && !tr.returnsValue(st) {
+				tr.reportLeak(st.Pos(), "is returned past")
+			}
+			return true // the path ends here; nothing further to require
+		case *ast.IfStmt:
+			thenEnd := tr.scan(st.Body.List, released)
+			if st.Else != nil {
+				var elseEnd bool
+				switch e := st.Else.(type) {
+				case *ast.BlockStmt:
+					elseEnd = tr.scan(e.List, released)
+				case *ast.IfStmt:
+					elseEnd = tr.scan([]ast.Stmt{e}, released)
+				}
+				if thenEnd && elseEnd {
+					released = true
+				}
+			}
+		case *ast.BlockStmt:
+			released = tr.scan(st.List, released)
+		case *ast.ForStmt:
+			tr.scan(st.Body.List, released)
+		case *ast.RangeStmt:
+			tr.scan(st.Body.List, released)
+		case *ast.SwitchStmt:
+			released = tr.scanCases(st.Body.List, released)
+		case *ast.TypeSwitchStmt:
+			released = tr.scanCases(st.Body.List, released)
+		case *ast.SelectStmt:
+			for _, cc := range st.Body.List {
+				tr.scan(cc.(*ast.CommClause).Body, released)
+			}
+		case *ast.LabeledStmt:
+			released = tr.scan([]ast.Stmt{st.Stmt}, released)
+		default:
+			if tr.stmtPuts(s) {
+				released = true
+			}
+		}
+	}
+	return released
+}
+
+// scanCases handles switch bodies: the value counts as released after the
+// switch only when every case (including a default) ends released.
+func (tr *tracker) scanCases(clauses []ast.Stmt, released bool) bool {
+	all := true
+	hasDefault := false
+	for _, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !tr.scan(cc.Body, released) {
+			all = false
+		}
+	}
+	return released || (all && hasDefault)
+}
+
+// releases matches pool.Put(x) directly or inside a deferred closure body.
+func (tr *tracker) releases(call *ast.CallExpr) bool {
+	if tr.isPutOfObj(call) {
+		return true
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && tr.isPutOfObj(c) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+func (tr *tracker) isPutOfObj(call *ast.CallExpr) bool {
+	if !isPoolMethod(tr.pass.TypesInfo, call, "Put") || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && tr.pass.TypesInfo.Uses[id] == tr.obj
+}
+
+// stmtPuts reports whether a non-branching statement performs the Put.
+// Puts inside non-deferred closures don't count — they run who-knows-when.
+func (tr *tracker) stmtPuts(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && tr.isPutOfObj(c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returnsValue reports whether the return hands the pool value itself to
+// the caller (ownership transfer).
+func (tr *tracker) returnsValue(st *ast.ReturnStmt) bool {
+	for _, r := range st.Results {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok && tr.pass.TypesInfo.Uses[id] == tr.obj {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEscapes flags stores of the pool value into places that outlive the
+// acquiring scope: struct fields, package variables, map/slice elements,
+// channels, and composite literals.
+func (tr *tracker) checkEscapes(stmts []ast.Stmt) {
+	info := tr.pass.TypesInfo
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == tr.obj
+	}
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !isObj(rhs) || i >= len(n.Lhs) {
+						continue
+					}
+					switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+					case *ast.SelectorExpr:
+						tr.pass.Reportf(n.Pos(), "sync.Pool value %s stored into field %s; it must not outlive the acquiring function", tr.obj.Name(), lhs.Sel.Name)
+					case *ast.IndexExpr:
+						tr.pass.Reportf(n.Pos(), "sync.Pool value %s stored into an element; it must not outlive the acquiring function", tr.obj.Name())
+					case *ast.Ident:
+						if v, ok := info.Uses[lhs].(*types.Var); ok && v.Parent() == tr.pass.Pkg.Scope() {
+							tr.pass.Reportf(n.Pos(), "sync.Pool value %s stored into package variable %s; it must not outlive the acquiring function", tr.obj.Name(), lhs.Name)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if isObj(n.Value) {
+					tr.pass.Reportf(n.Pos(), "sync.Pool value %s sent on a channel; it must not outlive the acquiring function", tr.obj.Name())
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isObj(v) {
+						tr.pass.Reportf(el.Pos(), "sync.Pool value %s stored into a composite literal; it must not outlive the acquiring function", tr.obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPoolMethod matches a call to (*sync.Pool).<name>.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fobj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fobj.FullName() == "(*sync.Pool)."+name
+}

@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"rpbeat/internal/analysis/analysistest"
+	"rpbeat/internal/analysis/poolcheck"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolcheck.Analyzer, "poolcheck")
+}

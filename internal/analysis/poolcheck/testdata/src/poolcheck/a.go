@@ -1,0 +1,120 @@
+// Fixtures for the poolcheck analyzer: the ok* functions are the repo's
+// real acquisition shapes (straight-line, defer, deferred closure,
+// ownership transfer, comma-ok), the bad* ones seed each leak and escape
+// kind.
+package poolcheck
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type holder struct{ b *[]byte }
+
+var global *[]byte
+
+func use(*[]byte) {}
+
+func okStraightLine() {
+	bp := bufs.Get().(*[]byte)
+	use(bp)
+	bufs.Put(bp)
+}
+
+func okDefer() {
+	bp := bufs.Get().(*[]byte)
+	defer bufs.Put(bp)
+	use(bp)
+}
+
+func okDeferClosure() {
+	bp := bufs.Get().(*[]byte)
+	defer func() {
+		use(bp)
+		bufs.Put(bp)
+	}()
+	use(bp)
+}
+
+func okTransfer() *[]byte {
+	bp := bufs.Get().(*[]byte)
+	return bp // ownership moves to the caller
+}
+
+func okCommaOk() *[]byte {
+	if bp, ok := bufs.Get().(*[]byte); ok {
+		return bp // the not-ok path never held a pool value
+	}
+	b := make([]byte, 0, 64)
+	return &b
+}
+
+func okBranchesBalanced(cond bool) {
+	bp := bufs.Get().(*[]byte)
+	if cond {
+		use(bp)
+		bufs.Put(bp)
+	} else {
+		bufs.Put(bp)
+	}
+}
+
+func okInnerScope(mode int) {
+	switch mode {
+	default:
+		bp := bufs.Get().(*[]byte)
+		use(bp)
+		bufs.Put(bp)
+	}
+}
+
+func badReturnLeak(cond bool) {
+	bp := bufs.Get().(*[]byte)
+	if cond {
+		return // want `bp is returned past`
+	}
+	bufs.Put(bp)
+}
+
+func badFallthroughLeak() {
+	bp := bufs.Get().(*[]byte) // want `bp falls out of scope`
+	use(bp)
+}
+
+func badInnerScopeLeak(mode int) {
+	switch mode {
+	default:
+		bp := bufs.Get().(*[]byte) // want `bp falls out of scope`
+		use(bp)
+	}
+}
+
+func badStoreField(h *holder) {
+	bp := bufs.Get().(*[]byte)
+	h.b = bp // want `stored into field b`
+	bufs.Put(bp)
+}
+
+func badStoreGlobal() {
+	bp := bufs.Get().(*[]byte)
+	global = bp // want `stored into package variable global`
+	bufs.Put(bp)
+}
+
+func badSend(ch chan *[]byte) {
+	bp := bufs.Get().(*[]byte)
+	ch <- bp // want `sent on a channel`
+	bufs.Put(bp)
+}
+
+func badCompositeLit() *holder {
+	bp := bufs.Get().(*[]byte)
+	h := &holder{b: bp} // want `stored into a composite literal`
+	bufs.Put(bp)
+	return h
+}
+
+func okSuppressed() {
+	//rpvet:allow poolcheck -- fixture: ownership handed to use's callee graph
+	bp := bufs.Get().(*[]byte)
+	use(bp)
+}

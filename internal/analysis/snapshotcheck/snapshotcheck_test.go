@@ -1,0 +1,12 @@
+package snapshotcheck_test
+
+import (
+	"testing"
+
+	"rpbeat/internal/analysis/analysistest"
+	"rpbeat/internal/analysis/snapshotcheck"
+)
+
+func TestSnapshotCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), snapshotcheck.Analyzer, "snapshotcheck")
+}

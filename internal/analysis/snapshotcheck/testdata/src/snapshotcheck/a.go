@@ -1,0 +1,56 @@
+// Fixtures for the snapshotcheck analyzer: build-then-publish is the
+// copy-on-write discipline (okPublish, the catalog's shape); the bad*
+// functions mutate through the pointer after Store/CompareAndSwap.
+package snapshotcheck
+
+import "sync/atomic"
+
+type snap struct {
+	n  int
+	xs []int
+}
+
+type reg struct {
+	cur atomic.Pointer[snap]
+}
+
+func okPublish(r *reg, prev *snap) {
+	next := &snap{n: prev.n + 1}
+	next.xs = append(next.xs, 1) // building before publication is the point
+	r.cur.Store(next)
+}
+
+func okRebind(r *reg) {
+	next := &snap{}
+	r.cur.Store(next)
+	next = &snap{} // a fresh value under the same name
+	next.n = 2
+	r.cur.Store(next)
+}
+
+func badMutateAfterStore(r *reg) {
+	next := &snap{}
+	r.cur.Store(next)
+	next.n = 1 // want `next is mutated after being published`
+}
+
+func badIndexAfterStore(r *reg) {
+	next := &snap{xs: make([]int, 4)}
+	r.cur.Store(next)
+	next.xs[0] = 9 // want `next is mutated after being published`
+}
+
+func badIncAfterCAS(r *reg) {
+	old := r.cur.Load()
+	next := &snap{}
+	if r.cur.CompareAndSwap(old, next) {
+		next.n++ // want `next is mutated after being published`
+	}
+}
+
+func badSuppressible(r *reg) {
+	next := &snap{}
+	r.cur.Store(next)
+	//rpvet:allow snapshotcheck -- fixture: demonstrates per-site suppression
+	next.n = 3
+}

@@ -82,6 +82,8 @@ func (e *Embedded) Validate() error {
 // ProjectIntInto runs the integer projection through the fastest available
 // representation (sparse when present, packed otherwise) into a caller-owned
 // slice of length K. All representations yield bit-identical results.
+//
+//rpbeat:allocfree
 func (e *Embedded) ProjectIntInto(window []int32, u []int32) {
 	if e.S != nil {
 		e.S.ProjectIntInto(window, u)
@@ -100,6 +102,8 @@ func (e *Embedded) Classify(window []int32) nfc.Decision {
 // ClassifyInto is Classify with caller-provided scratch — u of length K and
 // grades of length Cls.GradeBufLen() — the zero-allocation per-beat path
 // that pipeline.Pipeline and the serving layer run.
+//
+//rpbeat:allocfree
 func (e *Embedded) ClassifyInto(window []int32, u []int32, grades []uint16) nfc.Decision {
 	e.ProjectIntInto(window, u)
 	return e.Cls.ClassifyInto(u, e.AlphaTest, grades)

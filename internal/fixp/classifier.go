@@ -58,6 +58,8 @@ func Quantize(p *nfc.Params, kind MFKind) (*Classifier, error) {
 
 // Grades evaluates all membership functions for the projected coefficients
 // u (len K), writing K*NumClasses grades into out.
+//
+//rpbeat:allocfree
 func (c *Classifier) Grades(u []int32, out []uint16) {
 	if len(u) != c.K || len(out) != c.K*NumClasses {
 		panic("fixp: Grades dimension mismatch")
@@ -187,6 +189,8 @@ func (c *Classifier) GradeBufLen() int { return c.K * NumClasses }
 
 // ClassifyInto is Classify with a caller-provided grade buffer (length
 // GradeBufLen()), for the allocation-free hot path.
+//
+//rpbeat:allocfree
 func (c *Classifier) ClassifyInto(u []int32, alpha AlphaQ15, grades []uint16) nfc.Decision {
 	c.Grades(u, grades)
 	return Defuzzify(Fuzzify(c.K, grades), alpha)

@@ -483,17 +483,21 @@ func (g *Gateway) noteBackendError(b *backend, err error) {
 // buf is the caller's (pooled) copy buffer; the loop itself is
 // allocation-free. Errors from the dst side are distinguishable (they mean
 // the client hung up, not the backend) via an errors.As-able wrapper.
+//
+//rpbeat:allocfree
 func RelayCopy(dst io.Writer, flush func() error, src io.Reader, buf []byte) (int64, error) {
 	var n int64
 	for {
 		m, err := src.Read(buf)
 		if m > 0 {
 			if _, werr := dst.Write(buf[:m]); werr != nil {
+				//rpvet:allow allocfree -- error path: the stream is already torn down, one wrapper allocation ends it
 				return n, &relayWriteError{werr}
 			}
 			n += int64(m)
 			if flush != nil {
 				if ferr := flush(); ferr != nil {
+					//rpvet:allow allocfree -- error path: the stream is already torn down, one wrapper allocation ends it
 					return n, &relayWriteError{ferr}
 				}
 			}

@@ -23,6 +23,7 @@ import (
 	"rpbeat/internal/rng"
 	"rpbeat/internal/rp"
 	"rpbeat/internal/serve"
+	"rpbeat/internal/testutil"
 	"rpbeat/internal/wire"
 )
 
@@ -538,15 +539,12 @@ func TestRelayCopyZeroAlloc(t *testing.T) {
 	buf := make([]byte, relayBufBytes)
 	src := bytes.NewReader(frame)
 	flush := func() error { return nil }
-	allocs := testing.AllocsPerRun(1000, func() {
+	testutil.AssertZeroAllocN(t, "RelayCopy per relayed body", 1000, func() {
 		src.Reset(frame)
 		if _, err := RelayCopy(io.Discard, flush, src, buf); err != nil {
 			t.Fatal(err)
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("RelayCopy allocates %.1f per relayed body, want 0", allocs)
-	}
 }
 
 func TestRelayCopyDistinguishesWriteErrors(t *testing.T) {

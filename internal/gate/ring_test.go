@@ -3,6 +3,8 @@ package gate
 import (
 	"fmt"
 	"testing"
+
+	"rpbeat/internal/testutil"
 )
 
 // keys returns n distinct stream-shaped keys.
@@ -160,16 +162,13 @@ func TestRingLookupZeroAlloc(t *testing.T) {
 	r := NewRing(testMembers(5), 0)
 	keys := testKeys(64)
 	usable := func(m string) bool { return true }
-	allocs := testing.AllocsPerRun(1000, func() {
+	testutil.AssertZeroAllocN(t, "ring lookup over 64 keys", 1000, func() {
 		for _, k := range keys {
 			if _, ok := r.LookupFunc(k, usable); !ok {
 				t.Fatal("lookup failed")
 			}
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("Lookup allocates %.1f per 64 lookups, want 0", allocs)
-	}
 }
 
 func BenchmarkRingLookup(b *testing.B) {

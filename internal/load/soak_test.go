@@ -13,6 +13,7 @@ import (
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/pipeline"
 	"rpbeat/internal/serve"
+	"rpbeat/internal/testutil"
 )
 
 // soakStack builds the serving stack without t.Cleanup so the test
@@ -98,29 +99,19 @@ func TestSoakFleet(t *testing.T) {
 		}
 	}
 	drain()
-	ok := false
-	for attempt := 0; attempt < 3 && !ok; attempt++ {
-		next := 0
-		allocs := testing.AllocsPerRun(10, func() {
-			for i := 0; i < 5; i++ {
-				if err := st.Send(context.Background(), lead[next:next+chunk]); err != nil {
-					t.Fatal(err)
-				}
-				next += chunk
-				if next+chunk > len(lead) {
-					next = 0
-				}
-				drain()
+	next := 0
+	testutil.AssertZeroAllocN(t, "steady-state Send after the soak", 10, func() {
+		for i := 0; i < 5; i++ {
+			if err := st.Send(context.Background(), lead[next:next+chunk]); err != nil {
+				t.Fatal(err)
 			}
-		})
-		ok = allocs == 0
-		if !ok {
-			t.Logf("attempt %d: steady-state Send allocated %.1f times, retrying", attempt, allocs)
+			next += chunk
+			if next+chunk > len(lead) {
+				next = 0
+			}
+			drain()
 		}
-	}
-	if !ok {
-		t.Fatal("steady-state Send no longer 0 allocs/op after the soak")
-	}
+	})
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -155,6 +155,8 @@ func Detect(x []float64, cfg Config) []int {
 // a warm scratch detects with O(1) allocations (search-back, when enabled,
 // still allocates for its re-scan passes). The returned slice aliases s and
 // is valid until the next call with the same scratch; copy it to retain.
+//
+//rpbeat:allocfree
 func DetectInto(x []float64, cfg Config, s *Scratch) []int {
 	c := cfg.withDefaults()
 	if len(x) < 16 {
@@ -218,6 +220,8 @@ func detectPass(sc *Scratch, s scales, c Config, thrScale float64) []candidate {
 // non-overlapping windows, held constant inside each window. Using windows
 // rather than a global RMS makes the detector robust to noise bursts and
 // amplitude drift within a record.
+//
+//rpbeat:allocfree
 func windowedRMSInto(out, v []float64, win int) {
 	if win < 8 {
 		win = 8

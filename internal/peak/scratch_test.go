@@ -5,6 +5,7 @@ import (
 
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/sigdsp"
+	"rpbeat/internal/testutil"
 )
 
 // TestDetectIntoMatchesDetect holds the scratch-reusing detector to exact
@@ -51,13 +52,10 @@ func TestDetectIntoSteadyStateAllocs(t *testing.T) {
 	if got := DetectInto(filtered, cfg, &s); len(got) == 0 {
 		t.Fatal("warm-up detected nothing")
 	}
-	allocs := testing.AllocsPerRun(10, func() {
-		DetectInto(filtered, cfg, &s)
-	})
 	// sort.Slice wraps its less func in an interface: a handful of small
 	// allocations per record is the accepted floor; the ~40 signal-length
 	// buffers are what must not come back.
-	if allocs > 8 {
-		t.Fatalf("warm DetectInto allocated %.1f times per record, want <= 8", allocs)
-	}
+	testutil.AssertAllocsAtMost(t, "warm DetectInto per record", 8, 10, func() {
+		DetectInto(filtered, cfg, &s)
+	})
 }

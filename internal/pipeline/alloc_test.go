@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"testing"
 
+	"rpbeat/internal/apierr"
 	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/testutil"
 )
 
 // TestPipelinePushZeroAlloc holds the steady-state Push path to zero
@@ -32,7 +34,7 @@ func TestPipelinePushZeroAlloc(t *testing.T) {
 	}
 
 	next := 0
-	allocs := testing.AllocsPerRun(10, func() {
+	testutil.AssertZeroAllocN(t, "steady-state Push (3600 samples per run)", 10, func() {
 		for i := 0; i < 3600; i++ { // 10 seconds of stream per run
 			pipe.Push(lead[next])
 			next++
@@ -41,9 +43,6 @@ func TestPipelinePushZeroAlloc(t *testing.T) {
 			}
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("steady-state Push allocated %.1f times per 3600 samples, want 0", allocs)
-	}
 }
 
 // TestEngineSendZeroAlloc holds the steady-state Send path to zero
@@ -79,7 +78,7 @@ func TestEngineSendZeroAlloc(t *testing.T) {
 
 	var sendErr error
 	next := 0
-	allocs := testing.AllocsPerRun(10, func() {
+	testutil.AssertZeroAllocN(t, "steady-state Send (5 chunks per run)", 10, func() {
 		for i := 0; i < 5; i++ {
 			if err := st.Send(ctx, lead[next:next+chunk]); err != nil {
 				sendErr = err
@@ -95,8 +94,92 @@ func TestEngineSendZeroAlloc(t *testing.T) {
 	if sendErr != nil {
 		t.Fatal(sendErr)
 	}
-	if allocs != 0 {
-		t.Fatalf("steady-state Send allocated %.1f times per 5 chunks, want 0", allocs)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRejectedSendZeroAlloc pins the refusal half of Send's contract: once
+// the stream queue sits at MaxPending, a rejected Send costs neither an
+// allocation nor a copy. Regression test for the refusal path building a
+// fresh error (with a formatted pending count) per rejected call — exactly
+// the moment the server is already out of headroom.
+func TestRejectedSendZeroAlloc(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1, MaxPending: 16})
+	defer eng.Close()
+	ctx := context.Background()
+
+	// Park the only worker in the sink so the queue stays full for the
+	// whole measurement (the TestEngineOverload setup).
+	block := make(chan struct{})
+	release := make(chan struct{})
+	released := false
+	// A test failure must still unpark the worker, or the deferred
+	// eng.Close deadlocks on it.
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	blocked := false
+	st, err := eng.Open(ctx, "m", Config{}, func([]BeatResult) {
+		if !blocked {
+			blocked = true
+			close(block)
+			<-release
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "rz", Seconds: 5, Seed: 6, PVCRate: 0.1}).Leads[0]
+	if err := st.Send(ctx, lead); err != nil {
+		t.Fatal(err)
+	}
+	<-block
+	chunk := make([]int32, 8)
+	overloaded := false
+	for i := 0; i < 5 && !overloaded; i++ {
+		overloaded = apierr.IsCode(st.Send(ctx, chunk), apierr.CodeStreamOverloaded)
+	}
+	if !overloaded {
+		t.Fatal("queue never reported overload")
+	}
+
+	// The code check stays outside the closure: apierr.IsCode itself
+	// allocates (errors.As target), and only Send is under measurement.
+	var got error
+	testutil.AssertZeroAlloc(t, "rejected Send at MaxPending", func() {
+		got = st.Send(ctx, chunk)
+	})
+	if !apierr.IsCode(got, apierr.CodeStreamOverloaded) {
+		t.Fatalf("rejected Send returned %v, want stream_overloaded", got)
+	}
+	released = true
+	close(release)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRejectedOpenZeroAlloc pins the matching Open contract: a refused Open
+// past MaxStreams costs nothing but the CAS — no allocation for the typed
+// server_overloaded refusal.
+func TestRejectedOpenZeroAlloc(t *testing.T) {
+	eng := NewEngine(testCatalog(t, "m"), EngineConfig{Workers: 1, MaxStreams: 1})
+	defer eng.Close()
+	ctx := context.Background()
+
+	st, err := eng.Open(ctx, "m", Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	testutil.AssertZeroAlloc(t, "rejected Open at MaxStreams", func() {
+		_, got = eng.Open(ctx, "m", Config{}, nil)
+	})
+	if !apierr.IsCode(got, apierr.CodeServerOverloaded) {
+		t.Fatalf("rejected Open returned %v, want server_overloaded", got)
 	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)

@@ -241,8 +241,7 @@ func (e *Engine) Open(ctx context.Context, model string, cfg Config, sink func([
 	// Reserve a stream slot before any allocation: a refused Open costs the
 	// caller (and an overloaded server) nothing but the CAS.
 	if !e.reserveStream() {
-		return nil, apierr.New(apierr.CodeServerOverloaded,
-			"engine stream slots exhausted (%d open); back off or close streams", e.maxStreams)
+		return nil, errSlotsExhausted
 	}
 	entry, err := e.cat.Snapshot().Resolve(model)
 	if err != nil {
@@ -300,6 +299,8 @@ func (s *Stream) PendingSamples() int {
 // apierr.CodeStreamOverloaded. Admission is decided before the chunk is
 // copied, so a rejected Send (e.g. in a backpressure retry loop) costs
 // neither an allocation nor a copy.
+//
+//rpbeat:allocfree
 func (s *Stream) Send(ctx context.Context, samples []int32) error {
 	if err := ctx.Err(); err != nil {
 		return apierr.From(err)
@@ -318,10 +319,8 @@ func (s *Stream) Send(ctx context.Context, samples []int32) error {
 		return err
 	}
 	if e.maxPending > 0 && s.pending > 0 && s.pending+len(samples) > e.maxPending {
-		pending := s.pending
 		s.mu.Unlock()
-		return apierr.New(apierr.CodeStreamOverloaded,
-			"stream queue full (%d samples pending); back off and retry", pending)
+		return errStreamOverloaded
 	}
 	s.pending += len(samples)
 	s.mu.Unlock()
@@ -345,6 +344,21 @@ func (s *Stream) Send(ctx context.Context, samples []int32) error {
 	}
 	return nil
 }
+
+// errStreamOverloaded rejects a Send when the stream queue is at
+// MaxPending. Preallocated: the refusal fires exactly when the server is
+// already at its limit, and Send's contract says a rejected call costs
+// neither an allocation nor a copy — building a fresh error (with a
+// formatted pending count) per refusal broke that on the one path where
+// allocation pressure hurts most. Callers needing the live queue depth
+// have Stream.PendingSamples.
+var errStreamOverloaded = apierr.New(apierr.CodeStreamOverloaded,
+	"stream queue full; back off and retry")
+
+// errSlotsExhausted rejects an Open past MaxStreams — preallocated for the
+// same reason: a refused Open costs nothing but the CAS.
+var errSlotsExhausted = apierr.New(apierr.CodeServerOverloaded,
+	"engine stream slots exhausted; back off or close streams")
 
 // errShuttingDown rejects work arriving after Engine.Close: typed, so the
 // serving layer renders a drain as the shutting_down contract error (503 +

@@ -184,6 +184,8 @@ func (p *Pipeline) Samples() int { return p.n }
 // Push consumes one raw ADC sample and returns the beats it finalized
 // (usually none — beats surface in bursts as threshold windows complete).
 // The returned slice is reused by the next call; copy it to retain.
+//
+//rpbeat:allocfree
 func (p *Pipeline) Push(sample int32) []BeatResult {
 	p.out = p.out[:0]
 	p.raw[p.n&p.rawMask] = sample
@@ -206,6 +208,8 @@ func (p *Pipeline) Push(sample int32) []BeatResult {
 // and call overhead are amortized over the chunk, which is what the engine's
 // workers and /v1/stream run. The slice passed to emit is reused by the next
 // Push/PushChunk call; copy it to retain.
+//
+//rpbeat:allocfree
 func (p *Pipeline) PushChunk(samples []int32, emit func([]BeatResult)) {
 	p.out = p.out[:0]
 	raw, mask := p.raw, p.rawMask
@@ -243,6 +247,8 @@ func (p *Pipeline) Flush() []BeatResult {
 // classify cuts the beat window out of the raw ring (with the same edge
 // replication as sigdsp.WindowInt), downsamples and runs the integer
 // RP + NFC classifier.
+//
+//rpbeat:allocfree
 func (p *Pipeline) classify(pk int) {
 	for i := range p.window {
 		j := pk - p.cfg.Before + i

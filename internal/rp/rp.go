@@ -131,6 +131,8 @@ func (m *Matrix) ProjectInt(v []int32) []int32 {
 
 // ProjectIntInto is ProjectInt writing into a caller-provided slice of
 // length K, avoiding allocation in the per-beat hot path.
+//
+//rpbeat:allocfree
 func (m *Matrix) ProjectIntInto(v []int32, u []int32) {
 	if len(v) != m.D || len(u) != m.K {
 		panic("rp: ProjectIntInto dimension mismatch")
@@ -257,6 +259,8 @@ var packedDecode = func() (t [256][4]int8) {
 // execute the addition-only loop the paper costs out; this host kernel is
 // arithmetically identical (ternary signs make multiply and conditional
 // add/subtract the same function), just restructured for pipelined CPUs.
+//
+//rpbeat:allocfree
 func (p *PackedMatrix) ProjectIntInto(v []int32, u []int32) {
 	if len(v) != p.D || len(u) != p.K {
 		panic("rp: ProjectIntInto dimension mismatch")

@@ -163,6 +163,8 @@ func (s *SparseMatrix) ProjectInt(v []int32) []int32 {
 // ProjectIntInto is ProjectInt writing into a caller-provided slice of
 // length K. This is the fastest integer projection kernel in the package:
 // one gather-add per non-zero, no branches, no allocation.
+//
+//rpbeat:allocfree
 func (s *SparseMatrix) ProjectIntInto(v []int32, u []int32) {
 	if len(v) != s.D || len(u) != s.K {
 		panic("rp: ProjectIntInto dimension mismatch")

@@ -12,6 +12,7 @@ import (
 	"rpbeat/internal/catalog"
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/pipeline"
+	"rpbeat/internal/testutil"
 )
 
 // TestModelLifecycleEndToEnd is the full admin story against a live server:
@@ -192,7 +193,7 @@ func TestModelLifecycleEndToEnd(t *testing.T) {
 		t.Fatal("warm-up emitted no beats")
 	}
 	next := 0
-	allocs := testing.AllocsPerRun(10, func() {
+	testutil.AssertZeroAllocN(t, "steady-state Push on the uploaded model", 10, func() {
 		for i := 0; i < 3600; i++ {
 			pipe.Push(lead[next])
 			next++
@@ -201,7 +202,4 @@ func TestModelLifecycleEndToEnd(t *testing.T) {
 			}
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("steady-state Push on the uploaded model allocated %.1f/run, want 0", allocs)
-	}
 }

@@ -14,6 +14,7 @@ import (
 	"rpbeat/internal/catalog"
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/pipeline"
+	"rpbeat/internal/testutil"
 	"rpbeat/internal/wire"
 )
 
@@ -273,14 +274,11 @@ func TestDecodeChunkLineReusesBuffer(t *testing.T) {
 	buf := make([]int32, 0, 64)
 	line := lines[0]
 	var decErr error
-	allocs := testing.AllocsPerRun(100, func() {
+	testutil.AssertZeroAlloc(t, "fast decodeChunkLine on a warm buffer", func() {
 		buf, decErr = s.decodeChunkLine(buf, line)
 	})
 	if decErr != nil {
 		t.Fatal(decErr)
-	}
-	if allocs != 0 {
-		t.Fatalf("fast decodeChunkLine allocates %.1f/op on a warm buffer, want 0", allocs)
 	}
 }
 
@@ -330,7 +328,7 @@ func TestStreamServeRowZeroAlloc(t *testing.T) {
 
 	next := 0
 	var loopErr error
-	allocs := testing.AllocsPerRun(10, func() {
+	testutil.AssertZeroAllocN(t, "steady-state stream serving (5 chunks per run)", 10, func() {
 		for i := 0; i < 5; i++ {
 			buf, loopErr = srv.decodeChunkLine(buf, lines[next])
 			if loopErr != nil {
@@ -345,8 +343,5 @@ func TestStreamServeRowZeroAlloc(t *testing.T) {
 	})
 	if loopErr != nil {
 		t.Fatal(loopErr)
-	}
-	if allocs != 0 {
-		t.Fatalf("steady-state stream serving allocated %.1f times per 5 chunks, want 0", allocs)
 	}
 }

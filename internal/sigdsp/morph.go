@@ -37,6 +37,8 @@ func slideExtremum(x []float64, length int, wantMax bool) []float64 {
 // must equal len(x); out must not alias x). deque is an optional reusable
 // index buffer; the possibly-grown buffer is returned for the caller to keep
 // for the next call, so repeated invocations allocate nothing.
+//
+//rpbeat:allocfree
 func slideExtremumInto(out, x []float64, length int, wantMax bool, deque []int) []int {
 	n := len(x)
 	if n == 0 {
@@ -190,6 +192,8 @@ func growFloatBuf(buf []float64, n int) []float64 {
 // scratch makes the whole filter allocation-free. dst is grown as needed and
 // returned (it must not alias x); the result is bit-identical to
 // FilterECG(x, cfg).
+//
+//rpbeat:allocfree
 func FilterECGInto(dst, x []float64, cfg BaselineConfig, s *FilterScratch) []float64 {
 	n := len(x)
 	dst = growFloatBuf(dst, n)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rpbeat/internal/rng"
+	"rpbeat/internal/testutil"
 )
 
 // TestFilterECGIntoMatchesFilterECG holds the scratch-reusing front end to
@@ -76,10 +77,7 @@ func TestFilterECGIntoSteadyStateAllocs(t *testing.T) {
 	x := randomSignal(r, 3600)
 	var s FilterScratch
 	dst := FilterECGInto(nil, x, cfg, &s) // size every buffer
-	allocs := testing.AllocsPerRun(20, func() {
+	testutil.AssertZeroAllocN(t, "warm FilterECGInto", 20, func() {
 		dst = FilterECGInto(dst, x, cfg, &s)
 	})
-	if allocs != 0 {
-		t.Fatalf("warm FilterECGInto allocated %.1f times per call, want 0", allocs)
-	}
 }

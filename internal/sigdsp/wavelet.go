@@ -145,6 +145,8 @@ func DownsampleInt(x []int32, factor int) []int32 {
 // DownsampleIntInto is DownsampleInt into a caller-provided slice of length
 // ceil(len(x)/factor) (len(x) for factor <= 1), for the allocation-free
 // per-beat path.
+//
+//rpbeat:allocfree
 func DownsampleIntInto(dst []int32, x []int32, factor int) {
 	if factor <= 1 {
 		if len(dst) != len(x) {
@@ -193,6 +195,8 @@ func WindowInt(x []int32, center, before, after int) []int32 {
 
 // WindowIntInto is WindowInt into a caller-provided slice whose length sets
 // the window size (before + after), for the allocation-free per-beat path.
+//
+//rpbeat:allocfree
 func WindowIntInto(dst []int32, x []int32, center, before int) {
 	n := len(x)
 	for i := range dst {

@@ -17,6 +17,8 @@ import (
 
 // AppendStreamBeat appends one /v1/stream beat line:
 // {"sample":S,"class":"C","detectedAt":D}\n.
+//
+//rpbeat:allocfree
 func AppendStreamBeat(buf []byte, sample int, class string, detectedAt int) []byte {
 	buf = append(buf, `{"sample":`...)
 	buf = strconv.AppendInt(buf, int64(sample), 10)
@@ -29,6 +31,8 @@ func AppendStreamBeat(buf []byte, sample int, class string, detectedAt int) []by
 
 // AppendStreamDone appends the final /v1/stream summary line:
 // {"done":true,"model":"M","beats":B,"samples":S}\n.
+//
+//rpbeat:allocfree
 func AppendStreamDone(buf []byte, model string, beats, samples int) []byte {
 	buf = append(buf, `{"done":true,"model":`...)
 	buf = AppendString(buf, model)
@@ -41,6 +45,8 @@ func AppendStreamDone(buf []byte, model string, beats, samples int) []byte {
 
 // AppendError appends the uniform typed error body every endpoint renders:
 // {"error":{"code":"C","message":"M"}}\n.
+//
+//rpbeat:allocfree
 func AppendError(buf []byte, code, message string) []byte {
 	buf = append(buf, `{"error":{"code":`...)
 	buf = AppendString(buf, code)
@@ -53,6 +59,8 @@ func AppendError(buf []byte, code, message string) []byte {
 // classified record: resolved model, total, the per-class counts (all four
 // classes, keys in sorted order — what encoding/json emits for the counts
 // map) and one object per beat.
+//
+//rpbeat:allocfree
 func AppendClassifyResponse(buf []byte, model string, beats []pipeline.BeatResult) []byte {
 	var counts [4]int64 // indexed by nfc.Decision (N, L, V, U)
 	for _, b := range beats {
@@ -91,6 +99,8 @@ const hexDigits = "0123456789abcdef"
 // encoding/json's default encoder: quotes, backslash escapes, \u00XX for
 // control characters, HTML escaping of < > &, U+2028/U+2029 escaping, and
 // each invalid UTF-8 byte coerced to \ufffd.
+//
+//rpbeat:allocfree
 func AppendString(buf []byte, s string) []byte {
 	buf = append(buf, '"')
 	start := 0

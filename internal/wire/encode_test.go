@@ -7,6 +7,7 @@ import (
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/pipeline"
 	"rpbeat/internal/rng"
+	"rpbeat/internal/testutil"
 )
 
 // The response types mirrored from internal/serve (field order and tags
@@ -143,12 +144,9 @@ func TestAppendStringMatchesStdlib(t *testing.T) {
 // row's allocation invariant.
 func TestAppendStreamBeatZeroAlloc(t *testing.T) {
 	buf := make([]byte, 0, 256)
-	allocs := testing.AllocsPerRun(100, func() {
+	testutil.AssertZeroAlloc(t, "warm AppendStreamBeat", func() {
 		buf = AppendStreamBeat(buf[:0], 54321, "V", 54390)
 	})
-	if allocs != 0 {
-		t.Fatalf("warm AppendStreamBeat allocates %.1f/op, want 0", allocs)
-	}
 }
 
 func BenchmarkWireAppendStreamBeat(b *testing.B) {

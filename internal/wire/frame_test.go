@@ -10,6 +10,7 @@ import (
 
 	"rpbeat/internal/ecgsyn"
 	"rpbeat/internal/rng"
+	"rpbeat/internal/testutil"
 )
 
 // TestFrameRoundTrip: encode → decode is the identity for every width, at
@@ -201,7 +202,7 @@ func TestFrameReaderZeroAlloc(t *testing.T) {
 	if dst, err = fr.Next(dst); err != nil { // warm the payload buffer
 		t.Fatal(err)
 	}
-	allocs := testing.AllocsPerRun(100, func() {
+	testutil.AssertZeroAlloc(t, "warm FrameReader.Next", func() {
 		rd.Reset(frame)
 		var err error
 		dst, err = fr.Next(dst)
@@ -209,9 +210,6 @@ func TestFrameReaderZeroAlloc(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("warm FrameReader.Next allocates %.1f/op, want 0", allocs)
-	}
 }
 
 func BenchmarkWireDecodeFrame(b *testing.B) {

@@ -34,6 +34,8 @@ const maxNestingDepth = 512
 // field. Anything the parser does not understand returns a *SyntaxError
 // describing the first offending byte; the returned slice still shares
 // dst's backing array on error, so pooled buffers survive bad requests.
+//
+//rpbeat:allocfree
 func ParseChunk(dst []int32, data []byte) ([]int32, error) {
 	_, samples, err := parseBody(dst, data, false)
 	return samples, err
@@ -86,6 +88,7 @@ func (p *jsonParser) end() error {
 	return nil
 }
 
+//rpbeat:allocfree
 func parseBody(dst []int32, data []byte, wantModel bool) (string, []int32, error) {
 	p := jsonParser{data: data}
 	samples := dst[:0]
@@ -160,6 +163,8 @@ func parseBody(dst []int32, data []byte, wantModel bool) (string, []int32, error
 // as the stdlib does) or null, which zeroes the slice — encoding/json sets
 // slice fields to nil on an explicit null (unlike string fields, which it
 // leaves untouched; parseModel mirrors that asymmetry).
+//
+//rpbeat:allocfree
 func (p *jsonParser) parseSamples(dst []int32) ([]int32, error) {
 	if p.i < len(p.data) && p.data[p.i] == 'n' {
 		return dst[:0], p.lit("null")
@@ -213,6 +218,8 @@ func (p *jsonParser) parseModel(prev string) (string, error) {
 // parseInt32 parses one integer sample with exactly the strictness
 // encoding/json applies when unmarshaling into an int32: JSON number
 // grammar, no fraction, no exponent, no leading zeros, in-range.
+//
+//rpbeat:allocfree
 func (p *jsonParser) parseInt32() (int32, error) {
 	neg := false
 	if p.i < len(p.data) && p.data[p.i] == '-' {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"rpbeat/internal/rng"
+	"rpbeat/internal/testutil"
 )
 
 // classifyBody mirrors serve.ClassifyRequest for stdlib comparison.
@@ -215,14 +216,11 @@ func TestParseChunkZeroAlloc(t *testing.T) {
 	line := []byte(`{"samples":[1017,1020,1013,998,1004,1011,1002,997,1003,1008]}`)
 	buf := make([]int32, 0, 16)
 	var parseErr error
-	allocs := testing.AllocsPerRun(100, func() {
+	testutil.AssertZeroAlloc(t, "warm ParseChunk", func() {
 		buf, parseErr = ParseChunk(buf, line)
 	})
 	if parseErr != nil {
 		t.Fatal(parseErr)
-	}
-	if allocs != 0 {
-		t.Fatalf("warm ParseChunk allocates %.1f/op, want 0", allocs)
 	}
 }
 
