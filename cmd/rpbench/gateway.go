@@ -15,11 +15,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"rpbeat/internal/catalog"
+	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/faultinject"
 	"rpbeat/internal/gate"
 	"rpbeat/internal/load"
 	"rpbeat/internal/pipeline"
@@ -40,6 +44,16 @@ type gatewayBenchBlock struct {
 	// invariant TestRelayCopyZeroAlloc, measured here so the trajectory
 	// records it.
 	RelayAllocsPerOp int64 `json:"relay_allocs_per_op"`
+	// JournalAppendAllocsPerOp is the allocation count of one steady-state
+	// replay-journal cycle (append + sender copy-out + delivery ack). Must
+	// stay 0 — the tested invariant TestJournalAppendZeroAlloc, measured
+	// here so the trajectory records it.
+	JournalAppendAllocsPerOp int64 `json:"journal_append_allocs_per_op"`
+	// FailoverBlackoutMs is the longest downlink silence a client sees
+	// across an injected mid-stream backend kill: the gap covers failure
+	// detection, reopening on the ring successor, journal replay through
+	// the resync warm-up, and beat dedup until live beats resume.
+	FailoverBlackoutMs float64 `json:"failover_blackout_ms"`
 	// SingleNode is the same offered load as the at-capacity sweep row
 	// pointed at ONE backend directly: what the fleet loses without the
 	// gateway tier (everything past one node's cap sheds).
@@ -79,6 +93,140 @@ func benchRelayChunk() (testing.BenchmarkResult, error) {
 			}
 		}
 	}), nil
+}
+
+// benchJournalAppend measures one steady-state replay-journal cycle at the
+// default retention window — the per-uplink-unit cost the failover tentpole
+// adds to the relay's data path.
+func benchJournalAppend() testing.BenchmarkResult {
+	jb := gate.NewJournalBench(pipeline.ResyncWarmup(pipeline.Config{}), 140, 36)
+	for i := 0; i < 200; i++ {
+		jb.Step() // reach the recycled fixed point before measuring
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !jb.Step() {
+				b.Fatal("journal refused a steady-state step")
+			}
+		}
+	})
+}
+
+// streamKiller faults only /v1/stream round trips so health and catalog
+// traffic cannot spend the injected-fault budget.
+type streamKiller struct {
+	inner *faultinject.Transport
+}
+
+func (f *streamKiller) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Path == "/v1/stream" {
+		return f.inner.RoundTrip(req)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// benchFailoverBlackout streams one record through a 3-backend gateway whose
+// first stream connection is killed half way down the reference body, and
+// reports the longest gap between downlink reads — the client-visible
+// blackout the transparent failover costs.
+func benchFailoverBlackout(workers int) (float64, error) {
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "fo", Seconds: 30, Seed: 41, PVCRate: 0.1}).Leads[0]
+	var body []byte
+	for i := 0; i < len(lead); i += 360 {
+		end := i + 360
+		if end > len(lead) {
+			end = len(lead)
+		}
+		f, err := wire.AppendFrame(nil, lead[i:end])
+		if err != nil {
+			return 0, err
+		}
+		body = append(body, f...)
+	}
+
+	var backends []*gatewayBackend
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	urls := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		b, err := newGatewayBackend(16, workers, fmt.Sprintf("fo%d", i+1))
+		if err != nil {
+			return 0, err
+		}
+		backends = append(backends, b)
+		urls = append(urls, b.ts.URL)
+	}
+
+	// Learn the uninterrupted body length so the kill lands mid-response.
+	resp, err := http.Post(backends[0].ts.URL+"/v1/stream", wire.ContentTypeSamples, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	ref, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+
+	gw, err := gate.New(gate.Config{
+		Backends:       urls,
+		HealthInterval: -1,
+		Client: &http.Client{Transport: &streamKiller{inner: &faultinject.Transport{
+			Downlink: []faultinject.Fault{{
+				Kind:   faultinject.KillAfterBytes,
+				AtByte: int64(len(ref) / 2),
+			}},
+			Times: 1,
+		}}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer gw.Close()
+	gw.CheckNow(context.Background())
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+
+	resp, err = http.Post(gts.URL+"/v1/stream", wire.ContentTypeSamples, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("failover stream status %d", resp.StatusCode)
+	}
+	var blackout time.Duration
+	buf := make([]byte, 32<<10)
+	last := time.Now()
+	got := 0
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			now := time.Now()
+			if gap := now.Sub(last); gap > blackout {
+				blackout = gap
+			}
+			last = now
+			got += n
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	if gw.Status().Failovers == 0 {
+		return 0, fmt.Errorf("stream completed without the injected failover firing")
+	}
+	if got != len(ref) {
+		return 0, fmt.Errorf("failover body %d bytes, direct run %d", got, len(ref))
+	}
+	return float64(blackout) / float64(time.Millisecond), nil
 }
 
 // gatewayBackend is one in-process rpserve node for the gateway bench.
@@ -126,6 +274,19 @@ func runGatewayBench(out *benchFile) error {
 	}
 	out.Results = append(out.Results, record("gateway/relay_chunk_360", relayRes))
 
+	journalRes := benchJournalAppend()
+	out.Results = append(out.Results, record("gateway/failover_journal_append", journalRes))
+
+	blackoutMs, err := benchFailoverBlackout(workers)
+	if err != nil {
+		return err
+	}
+	out.Results = append(out.Results, benchResult{
+		Name:       "gateway/failover_blackout",
+		Iterations: 1,
+		NsPerOp:    blackoutMs * 1e6,
+	})
+
 	var backends []*gatewayBackend
 	defer func() {
 		for _, b := range backends {
@@ -152,12 +313,14 @@ func runGatewayBench(out *benchFile) error {
 	defer gts.Close()
 
 	out.Gateway = gatewayBenchBlock{
-		Backends:             nBackends,
-		MaxStreamsPerBackend: maxStreamsPer,
-		Speedup:              speedup,
-		RecordSeconds:        recordSeconds,
-		Workers:              workers,
-		RelayAllocsPerOp:     relayRes.AllocsPerOp(),
+		Backends:                 nBackends,
+		MaxStreamsPerBackend:     maxStreamsPer,
+		Speedup:                  speedup,
+		RecordSeconds:            recordSeconds,
+		Workers:                  workers,
+		RelayAllocsPerOp:         relayRes.AllocsPerOp(),
+		JournalAppendAllocsPerOp: journalRes.AllocsPerOp(),
+		FailoverBlackoutMs:       blackoutMs,
 	}
 
 	// Baseline: the at-capacity offered load against one backend directly.

@@ -26,6 +26,12 @@
 // the refusing backend via its X-Rpbeat-Instance header (rpserve -instance)
 // in the shed_by_instance report section.
 //
+// -chaos <seed> arms deterministic fault injection on every uplink (latency
+// spikes, slow-loris dribbles — timing distortions a correct server must
+// absorb) and reconciles each stream's beats against a local detection
+// oracle. The report then carries beats_lost and beats_duplicated; both must
+// be 0, whatever the chaos seed, or the serving tier broke beat continuity.
+//
 // Exit status is 0 whenever the run completed, shed streams included —
 // shedding is the server keeping its promise, not a client failure.
 package main
@@ -57,6 +63,7 @@ func main() {
 		tenant  = flag.String("tenant", "", "X-Tenant header for every request (empty = none)")
 		batch   = flag.Int("batch", 0, "batch-classify workers riding along with the streams")
 		seed    = flag.Uint64("seed", 1, "fleet seed; patient i derives from it deterministically")
+		chaos   = flag.Uint64("chaos", 0, "fault-injection seed: distort uplink timing per stream and reconcile the beat-continuity ledger (0 = off)")
 		unique  = flag.Int("unique", 0, "distinct records to synthesize, shared round-robin (0 = min(streams, 16))")
 		jsonOut = flag.Bool("json", false, "emit the report as JSON")
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = none)")
@@ -94,6 +101,7 @@ func main() {
 		BatchWorkers:  *batch,
 		Seed:          *seed,
 		UniqueRecords: *unique,
+		Chaos:         *chaos,
 	}
 	if !*jsonOut {
 		log.Printf("fleet of %d streams x %gs records at x%g cadence against %s",
@@ -120,6 +128,10 @@ func main() {
 		rep.Beats, rep.Samples, rep.GoodputSamplesPerSec)
 	fmt.Printf("beat latency ms: p50=%.2f p99=%.2f p999=%.2f max=%.2f\n",
 		rep.BeatLatencyMsP50, rep.BeatLatencyMsP99, rep.BeatLatencyMsP999, rep.BeatLatencyMsMax)
+	if *chaos != 0 {
+		fmt.Printf("ledger:  %d beats lost, %d duplicated (chaos seed %d)\n",
+			rep.BeatsLost, rep.BeatsDuplicated, rep.ChaosSeed)
+	}
 	if rep.BatchRequests > 0 {
 		fmt.Printf("batch:   %d/%d ok\n", rep.BatchOK, rep.BatchRequests)
 	}

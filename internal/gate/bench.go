@@ -1,0 +1,49 @@
+package gate
+
+// Benchmark access to unexported hot paths. cmd/rpbench records the replay
+// journal's steady-state append cost in the gateway/failover rows; the
+// journal type itself stays private to the package.
+
+// JournalBench drives one replay journal through its steady-state cycle —
+// append a unit, sender copy-out, delivery ack — exactly as a live relay
+// does once warm. Warm it up for a few hundred steps before measuring so
+// the arena and entry ring reach their recycled fixed point.
+type JournalBench struct {
+	j     *journal
+	gen   int
+	buf   []byte
+	raw   []byte
+	unit  int64
+	total int64
+}
+
+// NewJournalBench builds a journal with the given retention window and a
+// synthetic uplink unit of unitBytes bytes carrying unitSamples samples.
+func NewJournalBench(window, unitBytes, unitSamples int) *JournalBench {
+	b := &JournalBench{
+		j:    newJournal(window),
+		raw:  make([]byte, unitBytes),
+		buf:  make([]byte, 0, unitBytes),
+		unit: int64(unitSamples),
+	}
+	for i := range b.raw {
+		b.raw[i] = byte(i)
+	}
+	b.gen, _ = b.j.resetForAttempt()
+	return b
+}
+
+// Step runs one append+send+ack cycle and reports whether the journal
+// accepted it. Steady-state steps allocate nothing.
+func (b *JournalBench) Step() bool {
+	if !b.j.append(b.raw, int(b.unit)) {
+		return false
+	}
+	b.total += b.unit
+	var ok bool
+	if b.buf, ok = b.j.next(b.gen, b.buf); !ok {
+		return false
+	}
+	b.j.ack(b.total)
+	return true
+}

@@ -1,11 +1,14 @@
 package gate
 
 // Chaos suite for the gateway tier: backends die mid-stream, the pool
-// membership changes under live traffic, and the contract must hold — every
-// affected stream ends with a typed NDJSON error line (never a hang, never a
-// torn line), every unaffected stream is beat-for-beat identical to a
-// direct-to-backend run, and a full-stack Close leaks no goroutines. Run
-// under -race.
+// membership changes under live traffic, and the contract must hold. With
+// failover enabled (the default) a backend death is invisible — victim
+// streams continue on a successor with no error line, no lost or duplicated
+// beat, and a done line accounting for the whole record. With FailoverWindow
+// < 0 the legacy contract applies: every affected stream ends with a typed
+// NDJSON error line (never a hang, never a torn line). Either way,
+// unaffected streams are beat-for-beat identical to a direct-to-backend run
+// and a full-stack Close leaks no goroutines. Run under -race.
 
 import (
 	"bufio"
@@ -44,9 +47,10 @@ func keysOwnedBy(t *testing.T, s *gateStack, url string, n int) []string {
 // request body is a pipe, so the server sits between chunks until fed or
 // abandoned.
 type liveStream struct {
-	pw   *io.PipeWriter
-	resp *http.Response
-	br   *bufio.Reader
+	pw    *io.PipeWriter
+	resp  *http.Response
+	br    *bufio.Reader
+	first []byte // the first response line, consumed by openStream
 }
 
 // openStream starts a stream for id, writes one binary frame and blocks
@@ -77,7 +81,19 @@ func openStream(t *testing.T, client *http.Client, base, id string, frame []byte
 	if !json.Valid(line) {
 		t.Fatalf("stream %s: first line not JSON: %q", id, line)
 	}
+	ls.first = line
 	return ls
+}
+
+// streamLine is the decoded shape of one NDJSON downlink line — beat fields
+// for beat lines, done fields for the terminal line.
+type streamLine struct {
+	Sample     int64  `json:"sample"`
+	Class      string `json:"class"`
+	DetectedAt int64  `json:"detectedAt"`
+	Done       bool   `json:"done"`
+	Beats      int    `json:"beats"`
+	Samples    int    `json:"samples"`
 }
 
 // drainLines reads the stream to EOF and returns every remaining line.
@@ -129,21 +145,25 @@ func streamDirect(t *testing.T, b *backendStack, body []byte) []byte {
 }
 
 // TestChaosBackendKillMidStream kills a backend while streams are mid-flight
-// through the gateway. Victim streams must end with a typed retryable error
-// line — every received line parses, nothing hangs, nothing is torn.
+// through the gateway. With failover enabled (the default) the kill must be
+// invisible to the client: victim streams continue on a successor backend
+// with no error line, strictly increasing beat samples (no loss, no
+// duplication), and a final done line accounting for the whole record.
 // Survivor streams on other backends are byte-identical to direct runs.
 func TestChaosBackendKillMidStream(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	s := newGateStack(t, 3, serve.HandlerConfig{}, Config{FailAfter: 1})
 	s.gw.CheckNow(context.Background())
 
-	frame := mustFrame(t, testLead(10, 21))
+	lead1, lead2 := testLead(10, 21), testLead(10, 22)
+	frame1, frame2 := mustFrame(t, lead1), mustFrame(t, lead2)
 	victim := s.backends[2]
 
 	// Three victim streams held mid-stream on the doomed backend.
+	victimIDs := keysOwnedBy(t, s, victim.ts.URL, 3)
 	var victims []*liveStream
-	for _, id := range keysOwnedBy(t, s, victim.ts.URL, 3) {
-		victims = append(victims, openStream(t, s.ts.Client(), s.ts.URL, id, frame))
+	for _, id := range victimIDs {
+		victims = append(victims, openStream(t, s.ts.Client(), s.ts.URL, id, frame1))
 	}
 
 	// Survivor streams mid-flight on the other two backends while the kill
@@ -152,43 +172,73 @@ func TestChaosBackendKillMidStream(t *testing.T) {
 		keysOwnedBy(t, s, s.backends[1].ts.URL, 2)...)
 	var survivors []*liveStream
 	for _, id := range survivorIDs {
-		survivors = append(survivors, openStream(t, s.ts.Client(), s.ts.URL, id, frame))
+		survivors = append(survivors, openStream(t, s.ts.Client(), s.ts.URL, id, frame1))
 	}
 
 	// Kill the backend under all three victim streams.
 	victim.ts.CloseClientConnections()
 	victim.Close()
 
+	// The kill must be invisible: the client finishes its record as if
+	// nothing happened.
 	for i, ls := range victims {
-		lines := drainLines(ls)
-		if len(lines) == 0 {
-			t.Fatalf("victim %d: stream ended with no trailing line at all", i)
+		if _, err := ls.pw.Write(frame2); err != nil {
+			t.Fatalf("victim %d: uplink write after kill: %v", i, err)
 		}
+		ls.pw.Close()
+	}
+
+	for i, ls := range victims {
+		lines := append([][]byte{ls.first}, drainLines(ls)...)
+		prev, beats := int64(-1), 0
+		var done *streamLine
 		for _, line := range lines {
 			if !bytes.HasSuffix(line, []byte("\n")) {
 				t.Fatalf("victim %d: torn line %q", i, line)
 			}
-			if !json.Valid(line) {
-				t.Fatalf("victim %d: non-JSON line %q", i, line)
+			if e := errLine(line); e != nil {
+				t.Fatalf("victim %d: error line leaked through failover: %q", i, line)
 			}
+			var sl streamLine
+			if err := json.Unmarshal(line, &sl); err != nil {
+				t.Fatalf("victim %d: non-JSON line %q: %v", i, line, err)
+			}
+			if sl.Done {
+				done = &sl
+				continue
+			}
+			if done != nil {
+				t.Fatalf("victim %d: line after done: %q", i, line)
+			}
+			beats++
+			if sl.Sample <= prev {
+				t.Fatalf("victim %d: beat sample %d after %d — beat lost or duplicated across failover",
+					i, sl.Sample, prev)
+			}
+			prev = sl.Sample
 		}
-		last := errLine(lines[len(lines)-1])
-		if last == nil {
-			t.Fatalf("victim %d: final line is not a typed error: %q", i, lines[len(lines)-1])
+		if done == nil {
+			t.Fatalf("victim %d: stream ended without a done line", i)
 		}
-		if last.Code != apierr.CodeServerOverloaded && last.Code != apierr.CodeShuttingDown {
-			t.Fatalf("victim %d: error code %q, want server_overloaded or shutting_down", i, last.Code)
+		if beats == 0 {
+			t.Fatalf("victim %d: stream delivered no beats at all", i)
 		}
-		if !last.Retryable() {
-			t.Fatalf("victim %d: mid-stream loss must be retryable, got %q", i, last.Code)
+		if done.Beats != beats {
+			t.Fatalf("victim %d: done reports %d beats, stream delivered %d", i, done.Beats, beats)
+		}
+		if want := len(lead1) + len(lead2); done.Samples != want {
+			t.Fatalf("victim %d: done reports %d samples, record has %d", i, done.Samples, want)
 		}
 		ls.resp.Body.Close()
-		ls.pw.Close()
+	}
+
+	if got := s.gw.Status().Failovers; got < int64(len(victims)) {
+		t.Fatalf("failovers counter is %d, want >= %d (one per victim stream)", got, len(victims))
 	}
 
 	// The dead backend's keys rehash to survivors (FailAfter=1 demoted it on
 	// the first lost relay).
-	for _, id := range []string{victims[0].resp.Request.Header.Get("X-Stream-Id")} {
+	for _, id := range victimIDs[:1] {
 		if owner, ok := s.gw.BackendFor(id); !ok || owner == victim.ts.URL {
 			t.Fatalf("key %s still routed to dead backend (owner %q ok=%v)", id, owner, ok)
 		}
@@ -197,7 +247,7 @@ func TestChaosBackendKillMidStream(t *testing.T) {
 	// Survivors finish their streams undisturbed and match a direct run
 	// byte for byte.
 	var wantBody []byte
-	wantBody = append(wantBody, frame...)
+	wantBody = append(wantBody, frame1...)
 	refDirect := streamDirect(t, s.backends[0], wantBody)
 	for i, ls := range survivors {
 		ls.pw.Close() // end of record
@@ -225,6 +275,57 @@ func TestChaosBackendKillMidStream(t *testing.T) {
 		b.ts.Client().CloseIdleConnections()
 	}
 	waitGoroutines(t, baseline+2)
+}
+
+// TestChaosBackendKillFailoverDisabled pins the legacy contract: with
+// FailoverWindow < 0 the journal layer is bypassed entirely and a backend
+// death surfaces as the trailing typed retryable error line of the plain
+// relay path — every received line parses, nothing hangs, nothing is torn.
+func TestChaosBackendKillFailoverDisabled(t *testing.T) {
+	s := newGateStack(t, 3, serve.HandlerConfig{}, Config{FailAfter: 1, FailoverWindow: -1})
+	defer s.Close()
+	s.gw.CheckNow(context.Background())
+
+	frame := mustFrame(t, testLead(10, 21))
+	victim := s.backends[2]
+
+	var victims []*liveStream
+	for _, id := range keysOwnedBy(t, s, victim.ts.URL, 2) {
+		victims = append(victims, openStream(t, s.ts.Client(), s.ts.URL, id, frame))
+	}
+
+	victim.ts.CloseClientConnections()
+	victim.Close()
+
+	for i, ls := range victims {
+		lines := drainLines(ls)
+		if len(lines) == 0 {
+			t.Fatalf("victim %d: stream ended with no trailing line at all", i)
+		}
+		for _, line := range lines {
+			if !bytes.HasSuffix(line, []byte("\n")) {
+				t.Fatalf("victim %d: torn line %q", i, line)
+			}
+			if !json.Valid(line) {
+				t.Fatalf("victim %d: non-JSON line %q", i, line)
+			}
+		}
+		last := errLine(lines[len(lines)-1])
+		if last == nil {
+			t.Fatalf("victim %d: final line is not a typed error: %q", i, lines[len(lines)-1])
+		}
+		if last.Code != apierr.CodeServerOverloaded && last.Code != apierr.CodeShuttingDown {
+			t.Fatalf("victim %d: error code %q, want server_overloaded or shutting_down", i, last.Code)
+		}
+		if !last.Retryable() {
+			t.Fatalf("victim %d: mid-stream loss must be retryable, got %q", i, last.Code)
+		}
+		if s.gw.Status().Failovers != 0 {
+			t.Fatalf("failovers counted with failover disabled")
+		}
+		ls.resp.Body.Close()
+		ls.pw.Close()
+	}
 }
 
 // TestChaosMembershipRehash is the membership-change conformance test:

@@ -17,6 +17,7 @@ import (
 	"rpbeat/internal/apierr"
 	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
+	"rpbeat/internal/pipeline"
 	"rpbeat/internal/wire"
 )
 
@@ -43,6 +44,14 @@ type Config struct {
 	// MaxUploadBytes bounds a fanned-out POST /v1/models body; default
 	// core.MaxModelBytes, matching the backends.
 	MaxUploadBytes int64
+	// FailoverWindow is how many trailing uplink samples each stream's
+	// replay journal retains for transparent mid-stream failover
+	// (failover.go). 0 selects the deterministic-resync bound —
+	// pipeline.ResyncWarmup of the default pipeline, the replay depth that
+	// makes post-failover beats bit-identical to an uninterrupted run.
+	// Negative disables failover: backend death then surfaces as the
+	// trailing typed error line of the plain relay path.
+	FailoverWindow int
 	// Client overrides the backend-side HTTP client (default: a dedicated
 	// one with an unbounded per-host connection pool).
 	Client *http.Client
@@ -68,6 +77,7 @@ type backend struct {
 
 	fails     atomic.Int32 // consecutive transport failures
 	nextCheck atomic.Int64 // unix nanos of the next due probe (backoff)
+	probing   atomic.Bool  // a probe of this backend is in flight
 
 	inflight atomic.Int64
 	relayed  atomic.Int64 // responses relayed to completion
@@ -91,14 +101,15 @@ func (b *backend) routable() bool {
 // Gateway routes client requests onto the backend pool. See the package
 // comment for the invariants it keeps.
 type Gateway struct {
-	replicas   int
-	interval   time.Duration // always positive (backoff math); loop gated by runLoop
-	runLoop    bool
-	timeout    time.Duration
-	failAfter  int
-	maxUpload  int64
-	client     *http.Client
-	ownsClient bool
+	replicas       int
+	interval       time.Duration // always positive (backoff math); loop gated by runLoop
+	runLoop        bool
+	timeout        time.Duration
+	failAfter      int
+	maxUpload      int64
+	failoverWindow int // replay journal depth in samples; -1 = failover off
+	client         *http.Client
+	ownsClient     bool
 
 	// mu guards the membership view. The relay path takes it only for the
 	// ring lookup (RLock); rebuilds happen on Add/Remove.
@@ -116,6 +127,7 @@ type Gateway struct {
 
 	rr            atomic.Uint64 // round-robin cursor for keyless requests
 	shedNoBackend atomic.Int64  // requests refused because no backend was routable
+	failovers     atomic.Int64  // mid-stream failover hops performed
 
 	checkMu  sync.Mutex // one probe round at a time
 	inflight sync.WaitGroup
@@ -166,6 +178,14 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if g.maxUpload <= 0 {
 		g.maxUpload = core.MaxModelBytes
+	}
+	switch {
+	case cfg.FailoverWindow < 0:
+		g.failoverWindow = -1
+	case cfg.FailoverWindow == 0:
+		g.failoverWindow = pipeline.ResyncWarmup(pipeline.Config{})
+	default:
+		g.failoverWindow = cfg.FailoverWindow
 	}
 	if g.client == nil {
 		g.ownsClient = true
@@ -370,6 +390,10 @@ func (g *Gateway) relay(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, apierr.New(apierr.CodeServerOverloaded, "gateway: no routable backend for this stream"))
 		return
 	}
+	if g.failoverWindow >= 0 && r.Method == http.MethodPost && r.URL.Path == "/v1/stream" {
+		g.relayStream(w, r, b)
+		return
+	}
 	g.relayTo(w, r, b)
 }
 
@@ -526,14 +550,19 @@ func isRelayWriteError(err error) bool {
 
 func (g *Gateway) healthLoop() {
 	defer g.loopWG.Done()
-	tick := time.NewTicker(g.interval)
-	defer tick.Stop()
+	// The timer is re-armed only after a round completes: a round slowed by
+	// a hung /healthz (each probe bounded by HealthTimeout) pushes the next
+	// round back instead of queueing behind it, so probe rounds never stack
+	// however slow the fleet gets.
+	t := time.NewTimer(g.interval)
+	defer t.Stop()
 	for {
 		select {
 		case <-g.closed:
 			return
-		case <-tick.C:
+		case <-t.C:
 			g.checkRound(context.Background(), false)
+			t.Reset(g.interval)
 		}
 	}
 }
@@ -569,9 +598,13 @@ func (g *Gateway) checkRound(ctx context.Context, force bool) {
 		if !force && now < b.nextCheck.Load() {
 			continue // still backing off
 		}
+		if !b.probing.CompareAndSwap(false, true) {
+			continue // an earlier probe of this backend is still in flight
+		}
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
+			defer b.probing.Store(false)
 			results[i] = g.probe(ctx, b)
 		}(i, b)
 	}
@@ -642,6 +675,27 @@ func (g *Gateway) get(ctx context.Context, url string) (*http.Response, error) {
 	return g.client.Do(req)
 }
 
+// probeJitter spreads a backoff delay deterministically across ±25% of
+// base, keyed by backend URL and failure count: the same gateway re-probes
+// the same dead backend on the same schedule run after run (reproducible
+// tests), while distinct gateways — or successive failures — land at
+// different offsets instead of hammering in lockstep. FNV-1a folds the key,
+// splitmix64 whitens it, mirroring faultinject's Plan derivation.
+func probeJitter(url string, fails int64, base time.Duration) time.Duration {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(url); i++ {
+		h = (h ^ uint64(url[i])) * 0x100000001b3
+	}
+	h ^= uint64(fails)
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	// h%2048 maps to [-25%, +25%) of base in 1/4096 steps.
+	off := (int64(h%2048) - 1024) * int64(base) / 4096
+	return base + time.Duration(off)
+}
+
 // applyProbe folds one probe outcome into the backend's routing state.
 func (g *Gateway) applyProbe(res *checkResult) {
 	b := res.b
@@ -653,10 +707,12 @@ func (g *Gateway) applyProbe(res *checkResult) {
 		if int(fails) >= g.failAfter {
 			b.healthy.Store(false)
 		}
-		// Exponential backoff on the probe cadence, capped at 8x: a dead
-		// backend is not hammered, a flapping one recovers within seconds.
+		// Jittered exponential backoff on the probe cadence, capped at 8x:
+		// a dead backend is not hammered, a flapping one recovers within
+		// seconds, and gateways that noticed the same death at the same
+		// moment de-synchronize instead of re-probing in lockstep.
 		shift := min(int(fails), 3)
-		b.nextCheck.Store(now.Add(g.interval << shift).UnixNano())
+		b.nextCheck.Store(now.Add(probeJitter(b.url, int64(fails), g.interval<<shift)).UnixNano())
 	case res.status != http.StatusOK:
 		// The backend answered, so it is not dead — it is refusing. A typed
 		// retryable refusal (shutting_down mid-drain, server_overloaded) is
@@ -748,13 +804,19 @@ type HealthResponse struct {
 	OK            bool            `json:"ok"`
 	Backends      []BackendStatus `json:"backends"`
 	ShedNoBackend int64           `json:"shedNoBackend,omitempty"`
+	// Failovers counts mid-stream failover hops: times a live stream was
+	// transparently reopened on a successor backend.
+	Failovers int64 `json:"failovers,omitempty"`
 }
 
 // Status snapshots the pool (the healthz body, also for tests/operators).
 func (g *Gateway) Status() HealthResponse {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := HealthResponse{ShedNoBackend: g.shedNoBackend.Load()}
+	out := HealthResponse{
+		ShedNoBackend: g.shedNoBackend.Load(),
+		Failovers:     g.failovers.Load(),
+	}
 	for _, m := range g.members {
 		b := g.backends[m]
 		st := BackendStatus{

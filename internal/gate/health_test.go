@@ -1,0 +1,105 @@
+package gate
+
+// Probe-loop conformance: the background health loop must never let a slow
+// /healthz stack probe rounds on top of each other, and its failure backoff
+// must be deterministic per (backend, failure count) while still spreading
+// distinct backends apart.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProbeJitterDeterministicBounds pins probeJitter: same key, same
+// delay; every delay inside ±25% of base; and the offsets actually spread —
+// across failure counts and across backends.
+func TestProbeJitterDeterministicBounds(t *testing.T) {
+	base := time.Second
+	lo, hi := base*3/4, base*5/4
+
+	byFails := map[time.Duration]bool{}
+	for fails := int64(1); fails <= 8; fails++ {
+		d := probeJitter("http://b1:8080", fails, base)
+		if d != probeJitter("http://b1:8080", fails, base) {
+			t.Fatalf("jitter not deterministic for fails=%d", fails)
+		}
+		if d < lo || d >= hi {
+			t.Fatalf("jitter %v outside [%v, %v) at fails=%d", d, lo, hi, fails)
+		}
+		byFails[d] = true
+	}
+	if len(byFails) < 2 {
+		t.Fatal("jitter is constant across failure counts")
+	}
+
+	byURL := map[time.Duration]bool{}
+	for i := 0; i < 8; i++ {
+		byURL[probeJitter(fmt.Sprintf("http://b%d:8080", i), 1, base)] = true
+	}
+	if len(byURL) < 2 {
+		t.Fatal("jitter is constant across backends")
+	}
+}
+
+// TestHealthProbesDoNotStack runs the real background loop against a
+// backend whose /healthz is slower than the probe interval. The timer is
+// re-armed only after a round completes, so consecutive probes of the same
+// backend must never overlap and must stay at least the interval apart —
+// a hung fleet degrades probe freshness, never probe concurrency.
+func TestHealthProbesDoNotStack(t *testing.T) {
+	const (
+		interval = 100 * time.Millisecond
+		slow     = 50 * time.Millisecond
+	)
+	var mu sync.Mutex
+	var inflight, maxInflight int
+	var starts, ends []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"models":[]}`))
+			return
+		}
+		mu.Lock()
+		inflight++
+		if inflight > maxInflight {
+			maxInflight = inflight
+		}
+		starts = append(starts, time.Now())
+		mu.Unlock()
+		time.Sleep(slow)
+		mu.Lock()
+		inflight--
+		ends = append(ends, time.Now())
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	gw, err := New(Config{Backends: []string{ts.URL}, HealthInterval: interval, HealthTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(9 * interval)
+	gw.Close() // stops the loop; no probe outlives Close
+
+	mu.Lock()
+	defer mu.Unlock()
+	if maxInflight != 1 {
+		t.Fatalf("probes overlapped: %d concurrent /healthz, want 1", maxInflight)
+	}
+	if len(starts) < 3 {
+		t.Fatalf("only %d probe rounds ran, want >= 3", len(starts))
+	}
+	for i := 1; i < len(starts) && i <= len(ends); i++ {
+		if gap := starts[i].Sub(ends[i-1]); gap < interval/2 {
+			t.Fatalf("round %d started %v after the previous ended, want >= %v (timer must re-arm after the round)",
+				i, gap, interval/2)
+		}
+	}
+}

@@ -37,6 +37,9 @@ import (
 
 	"rpbeat/internal/apierr"
 	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/faultinject"
+	"rpbeat/internal/peak"
+	"rpbeat/internal/sigdsp"
 	"rpbeat/internal/wire"
 )
 
@@ -90,6 +93,16 @@ type Config struct {
 	// Client overrides the HTTP client (default: one with an unbounded
 	// connection pool sized for the fleet).
 	Client *http.Client
+	// Chaos, when non-zero, seeds deterministic client-side fault
+	// self-injection: each patient's uplink is wrapped with the absorbable
+	// faultinject kinds (latency spikes, slow-loris pacing), derived from
+	// (Chaos, StreamID). Absorbable faults degrade only timing, never
+	// integrity, so a correct serving tier still completes every stream —
+	// streams_failed stays 0 — while the jitter staggers the fleet so an
+	// externally injected backend kill lands at varied stream positions.
+	// The beat-continuity ledger (BeatsLost/BeatsDuplicated) is what turns
+	// that into a verdict.
+	Chaos uint64
 }
 
 // Report is the fleet run's outcome, shaped for JSON (rpload -json and the
@@ -113,6 +126,16 @@ type Report struct {
 
 	Beats   int64 `json:"beats"`
 	Samples int64 `json:"samples"`
+	// The beat-continuity ledger: every completed stream's beat samples are
+	// compared against a local model-independent detection oracle
+	// (ExpectedBeats) over the same record. BeatsLost counts expected beats
+	// that never arrived; BeatsDuplicated counts beat samples delivered
+	// more than once. Both must be 0 for a lossless serving tier — the
+	// invariant transparent mid-stream failover is held to under chaos.
+	BeatsLost       int64 `json:"beats_lost"`
+	BeatsDuplicated int64 `json:"beats_duplicated"`
+	// ChaosSeed echoes Config.Chaos so a failing chaos run is replayable.
+	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
 	// GoodputSamplesPerSec counts only samples the server acknowledged in
 	// done lines — shed and failed streams contribute nothing.
 	GoodputSamplesPerSec float64 `json:"goodput_samples_per_sec"`
@@ -166,6 +189,9 @@ type fleet struct {
 	records []*ecgsyn.Record
 	synth   []sync.Once
 
+	expected [][]int // per-slot beat oracle (ExpectedBeats of the lead)
+	expOnce  []sync.Once
+
 	mu        sync.Mutex
 	latencies []int64 // beat latency, microseconds
 	report    Report
@@ -205,6 +231,62 @@ func (f *fleet) record(i int) *ecgsyn.Record {
 		})
 	})
 	return f.records[slot]
+}
+
+// ExpectedBeats is the beat-continuity oracle: it runs the serving
+// pipeline's model-independent front half — millivolt conversion, the
+// streaming ECG filter and the peak detector, all at their serving
+// defaults — over one lead and returns the beat sample indices a lossless
+// stream of that lead must deliver, in order. Classification plays no part
+// in which beats exist, so the oracle needs no model and matches whatever
+// model the server applies.
+func ExpectedBeats(lead []int32) []int {
+	filter := sigdsp.NewStreamECGFilter(sigdsp.DefaultBaselineConfig(ecgsyn.Fs))
+	det, err := peak.NewStreamDetector(peak.Config{Fs: ecgsyn.Fs, SearchBackOff: true})
+	if err != nil {
+		panic("load: ExpectedBeats: " + err.Error())
+	}
+	var out []int
+	for _, v := range lead {
+		y, ok := filter.Push(float64(v-ecgsyn.Baseline) / ecgsyn.Gain)
+		if !ok {
+			continue
+		}
+		out = append(out, det.Push(y)...)
+	}
+	out = append(out, det.Flush()...)
+	return out
+}
+
+// expectedBeats returns (computing on first use) the shared oracle for
+// patient i's record slot.
+func (f *fleet) expectedBeats(i int) []int {
+	slot := i % len(f.records)
+	f.expOnce[slot].Do(func() {
+		f.expected[slot] = ExpectedBeats(f.record(i).Leads[0])
+	})
+	return f.expected[slot]
+}
+
+// beatLedger reconciles one completed stream against its oracle: expected
+// beats that never arrived are lost, beat samples that arrived more than
+// once are duplicated.
+func beatLedger(want, got []int) (lost, dup int64) {
+	seen := make(map[int]int, len(got))
+	for _, s := range got {
+		seen[s]++
+	}
+	for _, s := range want {
+		if seen[s] == 0 {
+			lost++
+		}
+	}
+	for _, n := range seen {
+		if n > 1 {
+			dup += int64(n - 1)
+		}
+	}
+	return lost, dup
 }
 
 // streamLine is the union of every NDJSON line /v1/stream emits: beat
@@ -270,11 +352,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	f := &fleet{
-		cfg:     cfg,
-		targets: targets,
-		client:  client,
-		records: make([]*ecgsyn.Record, unique),
-		synth:   make([]sync.Once, unique),
+		cfg:      cfg,
+		targets:  targets,
+		client:   client,
+		records:  make([]*ecgsyn.Record, unique),
+		synth:    make([]sync.Once, unique),
+		expected: make([][]int, unique),
+		expOnce:  make([]sync.Once, unique),
 	}
 	f.report = Report{
 		Streams:       cfg.Streams,
@@ -282,6 +366,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		RecordSeconds: cfg.Seconds,
 		Speedup:       cfg.Speedup,
 		Chunk:         cfg.Chunk,
+		ChaosSeed:     cfg.Chaos,
 	}
 
 	start := time.Now()
@@ -374,6 +459,14 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 		if f.cfg.Speedup > 0 {
 			perChunk = time.Duration(float64(chunk) / (ecgsyn.Fs * f.cfg.Speedup) * float64(time.Second))
 		}
+		// Chaos self-injection: absorbable (timing-only) faults on this
+		// patient's own uplink, deterministic per (Chaos, StreamID).
+		var uplink io.Writer = pw
+		if f.cfg.Chaos != 0 {
+			plan := faultinject.Plan{Seed: f.cfg.Chaos, MaxByte: int64(2 * len(lead)), MaxDelay: 2 * time.Millisecond}
+			uplink = faultinject.NewWriter(pw,
+				plan.Pick(StreamID(f.cfg.Seed, i), faultinject.LatencySpike, faultinject.SlowLoris))
+		}
 		for k := 0; k < nChunks; k++ {
 			if perChunk > 0 {
 				target := start.Add(time.Duration(k) * perChunk)
@@ -397,7 +490,7 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 				return
 			}
 			atomic.StoreInt64(&sendNanos[k], time.Now().UnixNano())
-			if _, err := pw.Write(frame); err != nil {
+			if _, err := uplink.Write(frame); err != nil {
 				// Server hung up mid-stream; the reader side classifies it.
 				return
 			}
@@ -444,6 +537,7 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var (
 		local    []int64
+		got      []int // beat samples received, for the continuity ledger
 		done     bool
 		sawError bool
 	)
@@ -466,6 +560,7 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 			atomic.AddInt64(&f.report.Samples, int64(l.Samples))
 			done = true
 		case l.Class != "":
+			got = append(got, l.Sample)
 			k := l.DetectedAt / chunk
 			if k >= 0 && k < nChunks {
 				if sent := atomic.LoadInt64(&sendNanos[k]); sent != 0 {
@@ -485,6 +580,12 @@ func (f *fleet) runStream(ctx context.Context, i int) {
 	switch {
 	case done:
 		atomic.AddInt64(&f.report.StreamsOK, 1)
+		// Reconcile the completed stream against the beat oracle. Shed and
+		// failed streams are excluded: their loss is already attributed by
+		// the stream counters, not the continuity ledger.
+		lost, dup := beatLedger(f.expectedBeats(i), got)
+		atomic.AddInt64(&f.report.BeatsLost, lost)
+		atomic.AddInt64(&f.report.BeatsDuplicated, dup)
 	case sawError:
 		atomic.AddInt64(&f.report.StreamsFailed, 1)
 	default:

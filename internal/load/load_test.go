@@ -70,6 +70,60 @@ func TestFleetRun(t *testing.T) {
 	if len(rep.ErrorCounts) != 0 {
 		t.Fatalf("unexpected errors: %v", rep.ErrorCounts)
 	}
+	// The continuity ledger must reconcile exactly on a clean run — this is
+	// also the proof the local oracle (ExpectedBeats) matches the server's
+	// detection beat for beat.
+	if rep.BeatsLost != 0 || rep.BeatsDuplicated != 0 {
+		t.Fatalf("beat ledger lost/duplicated = %d/%d, want 0/0", rep.BeatsLost, rep.BeatsDuplicated)
+	}
+}
+
+// TestFleetChaosLedger runs the fleet with chaos self-injection on: the
+// absorbable faults distort timing only, so against a healthy server every
+// stream must still complete with the continuity ledger at zero — the
+// baseline the CI chaos smoke (which additionally kills a backend) builds
+// on.
+func TestFleetChaosLedger(t *testing.T) {
+	ts, _ := testServer(t, 2, serve.HandlerConfig{})
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Streams: 6,
+		Seconds: 10,
+		Speedup: 64,
+		Seed:    1,
+		Chaos:   99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StreamsOK != 6 || rep.StreamsShed != 0 || rep.StreamsFailed != 0 {
+		t.Fatalf("streams ok/shed/failed = %d/%d/%d, want 6/0/0 (errors: %v)",
+			rep.StreamsOK, rep.StreamsShed, rep.StreamsFailed, rep.ErrorCounts)
+	}
+	if rep.BeatsLost != 0 || rep.BeatsDuplicated != 0 {
+		t.Fatalf("beat ledger lost/duplicated = %d/%d, want 0/0", rep.BeatsLost, rep.BeatsDuplicated)
+	}
+	if rep.ChaosSeed != 99 {
+		t.Fatalf("report echoes chaos seed %d, want 99", rep.ChaosSeed)
+	}
+}
+
+// TestBeatLedger pins the reconciliation arithmetic.
+func TestBeatLedger(t *testing.T) {
+	want := []int{100, 200, 300, 400}
+	lost, dup := beatLedger(want, []int{100, 200, 300, 400})
+	if lost != 0 || dup != 0 {
+		t.Fatalf("exact stream: lost/dup = %d/%d, want 0/0", lost, dup)
+	}
+	lost, dup = beatLedger(want, []int{100, 200, 200, 400})
+	if lost != 1 || dup != 1 {
+		t.Fatalf("one missing, one doubled: lost/dup = %d/%d, want 1/1", lost, dup)
+	}
+	lost, dup = beatLedger(want, nil)
+	if lost != 4 || dup != 0 {
+		t.Fatalf("empty stream: lost/dup = %d/%d, want 4/0", lost, dup)
+	}
 }
 
 // TestFleetShedCounting: against a capped server, refused streams land in

@@ -30,6 +30,16 @@ type Config struct {
 	// SearchBack enables re-scanning long RR gaps with halved thresholds;
 	// default on (disable with SearchBackOff).
 	SearchBackOff bool
+
+	// StartSample phase-aligns a StreamDetector that resumes an interrupted
+	// stream mid-record: it is the absolute index of the first sample this
+	// detector will see, and the detector shortens its first adaptive-
+	// threshold window so that all later window boundaries land on the same
+	// absolute sample indices as a detector that consumed the stream from
+	// sample zero. Emitted peak indices stay relative to the resumed feed
+	// (the caller re-bases them). The batch detector ignores it — a batch
+	// run always sees the whole record.
+	StartSample int
 }
 
 func (c Config) withDefaults() Config {

@@ -36,6 +36,11 @@ type StreamDetector struct {
 	c                  Config
 	dwt                *sigdsp.StreamDWT
 	win, pair, refract int
+	// nextWin is how many detection-scale samples complete the window being
+	// buffered right now: win - (StartSample mod win) for the first window of
+	// a resumed stream (so later boundaries align with an uninterrupted
+	// run's), win for every window after it.
+	nextWin int
 
 	// Current adaptive-threshold window of the two detection scales.
 	wbase int // absolute index of the window's first sample
@@ -80,6 +85,17 @@ func NewStreamDetector(cfg Config) (*StreamDetector, error) {
 		refract: int(c.RefractorySec * c.Fs),
 		scan:    1, // the batch extremum scan starts at index 1
 	}
+	d.nextWin = win
+	if c.StartSample > 0 {
+		// Resuming at absolute sample S: shorten the first threshold window
+		// to win - (S mod win) samples, so this detector's later window
+		// boundaries fall on the same absolute indices as those of a detector
+		// that started at sample zero. Only S mod win matters — the wavelet
+		// warm-up offsets are the same for both runs and cancel.
+		if phase := c.StartSample % win; phase != 0 {
+			d.nextWin = win - phase
+		}
+	}
 	d.ring = d.win + d.pair + 16
 	d.z = make([]float64, d.ring)
 	d.thrZ = make([]float64, d.ring)
@@ -96,6 +112,11 @@ func (d *StreamDetector) Delay() int {
 	return d.dwt.Delay() + 2*d.win + d.refract + d.pair + 2
 }
 
+// Window returns the adaptive-threshold window length in samples — the
+// quantum of the detector's phase grid, which a resumed stream must align to
+// (Config.StartSample) for bit-identical detections.
+func (d *StreamDetector) Window() int { return d.win }
+
 // Push consumes one sample of the filtered lead and returns the R peaks
 // finalized by it, as absolute sample indices (aligned with the input).
 // The returned slice is reused by the next call; copy it to retain.
@@ -109,7 +130,7 @@ func (d *StreamDetector) Push(x float64) []int {
 	d.sumsq[0] += w[1] * w[1]
 	d.wbuf[1] = append(d.wbuf[1], w[2])
 	d.sumsq[1] += w[2] * w[2]
-	if len(d.wbuf[0]) == d.win {
+	if len(d.wbuf[0]) == d.nextWin {
 		d.completeWindow()
 	}
 	return d.emit
@@ -155,6 +176,7 @@ func (d *StreamDetector) completeWindow() {
 	}
 	d.zN = base + count
 	d.wbase = d.zN
+	d.nextWin = d.win // only the first window of a resumed stream is short
 	d.wbuf[0] = d.wbuf[0][:0]
 	d.wbuf[1] = d.wbuf[1][:0]
 	d.sumsq[0], d.sumsq[1] = 0, 0

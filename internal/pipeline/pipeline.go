@@ -56,6 +56,18 @@ type Config struct {
 	// Baseline tunes the morphological filter; zero value takes
 	// sigdsp.DefaultBaselineConfig(Fs).
 	Baseline sigdsp.BaselineConfig
+	// BaseSample resumes an interrupted stream mid-record: it is the
+	// absolute index of the first sample this pipeline will be fed, and it
+	// shifts every emitted BeatResult (Peak, DetectedAt) into the original
+	// stream's index space while phase-aligning the detector's threshold
+	// windows with an uninterrupted run's (peak.Config.StartSample). Feed
+	// the pipeline at least ResyncWarmup(cfg) samples of replayed history
+	// before the point of interest and the beats it emits past BaseSample +
+	// ResyncWarmup are bit-identical to the uninterrupted run — the contract
+	// the gateway's failover replay journal is sized by. Zero (the default)
+	// is a stream starting at its true beginning. Batch classification
+	// ignores it.
+	BaseSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +88,14 @@ func (c Config) withDefaults() Config {
 	}
 	c.Peak.Fs = c.Fs
 	c.Peak.SearchBackOff = true
+	if c.BaseSample < 0 {
+		c.BaseSample = 0
+	}
+	// The detector's input index space is aligned with the raw input's (the
+	// filter emits output i — the filtered value of raw sample i — once
+	// input i+Delay() has arrived), so the window phase of a resumed stream
+	// is BaseSample itself.
+	c.Peak.StartSample = c.BaseSample
 	if c.Baseline.Fs <= 0 {
 		c.Baseline = sigdsp.DefaultBaselineConfig(c.Fs)
 	}
@@ -167,6 +187,41 @@ func nextPow2(n int) int {
 // group delay plus the detector's finalization bound.
 func (p *Pipeline) Delay() int {
 	return p.filter.Delay() + p.det.Delay()
+}
+
+// ResyncWarmup returns W, the replay bound of the deterministic-resume
+// contract: a fresh pipeline opened with Config.BaseSample = B and fed the
+// original stream's samples from B onward emits beats bit-identical to the
+// uninterrupted run for every beat finalized past B + W. A replay journal
+// that retains the last W samples of uplink therefore makes mid-stream
+// failover invisible (internal/gate sizes its journals with this).
+//
+// The bound stacks every source of left-border divergence a resumed run
+// has, each rounded up to its full support:
+//
+//   - the morphological filter's border replication (≤ 2x its group delay
+//     of input history feeds one output);
+//   - the à trous decomposition's border replication and the first,
+//     shortened threshold window, whose RMS normalization differs from the
+//     original's full window (≤ one detector delay + one window);
+//   - carried arbitration state (pairing extremum, refractory candidate)
+//     seeded inside the divergent region (≤ one more detector delay);
+//   - the classification window and suppression slack: the beat window
+//     reaches Before samples behind a peak, and the original run's last
+//     delivered beat can trail the failure point by a full pipeline delay.
+//
+// It is deliberately a safe over-approximation (~a dozen seconds of signal
+// at the paper's 360 Hz deployment), not a tight one: journal memory is
+// cheap, a divergent beat after failover is not.
+func ResyncWarmup(cfg Config) int {
+	c := cfg.withDefaults()
+	filter := sigdsp.NewStreamECGFilter(c.Baseline)
+	// withDefaults forces SearchBackOff, the only constructor error.
+	det, err := peak.NewStreamDetector(c.Peak)
+	if err != nil {
+		panic("pipeline: ResyncWarmup: " + err.Error())
+	}
+	return 3*filter.Delay() + 2*det.Delay() + det.Window() + c.Before + c.After
 }
 
 // MemoryBytes reports the pipeline's fixed working set: the raw ring, the
@@ -262,7 +317,13 @@ func (p *Pipeline) classify(pk int) {
 	}
 	sigdsp.DownsampleIntInto(p.ds, p.window, p.emb.Downsample)
 	d := p.emb.ClassifyInto(p.ds, p.u, p.grades)
-	p.out = append(p.out, BeatResult{Peak: pk, Decision: d, DetectedAt: p.n - 1})
+	// Indices are kept relative internally (ring masks, detector state) and
+	// re-based on emission, so a resumed stream reports absolute positions.
+	p.out = append(p.out, BeatResult{
+		Peak:       p.cfg.BaseSample + pk,
+		Decision:   d,
+		DetectedAt: p.cfg.BaseSample + p.n - 1,
+	})
 }
 
 // BatchClassify is the whole-record reference path: the exact batch

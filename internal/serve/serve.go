@@ -64,6 +64,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -744,8 +745,20 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 		wmu.Unlock()
 	}
 
+	// The resume handshake: a gateway replaying its failover journal opens
+	// the successor stream with X-Rpbeat-Resume-From: B, the absolute index
+	// of the first replayed sample. The pipeline then phase-aligns its
+	// detector with the interrupted run and reports absolute beat indices,
+	// so replayed beats are bit-identical to the original's and the gateway
+	// can suppress the already-delivered prefix by sample index alone.
+	resumeFrom, err := resumeBase(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
 	beats := 0
-	st, err := s.eng.Open(r.Context(), r.URL.Query().Get("model"), pipeline.Config{},
+	st, err := s.eng.Open(r.Context(), r.URL.Query().Get("model"), pipeline.Config{BaseSample: resumeFrom},
 		func(res []pipeline.BeatResult) {
 			wmu.Lock()
 			defer wmu.Unlock()
@@ -854,6 +867,29 @@ func (s *server) stream(w http.ResponseWriter, r *http.Request) {
 	}
 	markStopped()
 	writeDone(StreamDone{Done: true, Model: model, Beats: beats, Samples: samples})
+}
+
+// ResumeFromHeader carries the resume handshake of POST /v1/stream: the
+// absolute sample index the request body starts at. Beat and done lines
+// report indices in the original stream's space; the beats/samples counts of
+// the done line stay per-connection (the resuming tier does its own total
+// accounting).
+const ResumeFromHeader = wire.ResumeFromHeader
+
+// resumeBase parses the resume handshake header; absent means 0 (a stream
+// starting at its true beginning), malformed or negative is the client's
+// bad_input.
+func resumeBase(r *http.Request) (int, error) {
+	h := r.Header.Get(ResumeFromHeader)
+	if h == "" {
+		return 0, nil
+	}
+	base, err := strconv.Atoi(h)
+	if err != nil || base < 0 {
+		return 0, apierr.New(apierr.CodeBadInput,
+			"%s: %q is not a non-negative sample index", ResumeFromHeader, h)
+	}
+	return base, nil
 }
 
 // sendWithBackpressure forwards one chunk to the stream, converting the

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -435,6 +436,94 @@ func TestStreamUnknownModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+}
+
+func TestStreamResumeFrom(t *testing.T) {
+	ts, _, emb := testServer(t)
+	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "rs", Seconds: 30, Seed: 11, PVCRate: 0.1}).Leads[0]
+	const base = 3000
+
+	// Sequential reference: a pipeline resumed at the same base.
+	pipe, err := pipeline.New(emb, pipeline.Config{BaseSample: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []pipeline.BeatResult
+	for _, v := range lead[base:] {
+		want = append(want, pipe.Push(v)...)
+	}
+	want = append(want, pipe.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("reference resumed pipeline found no beats")
+	}
+
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for off := base; off < len(lead); off += 360 {
+		end := off + 360
+		if end > len(lead) {
+			end = len(lead)
+		}
+		if err := enc.Encode(StreamChunk{Samples: lead[off:end]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ResumeFromHeader, strconv.Itoa(base))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resumed stream: %d", resp.StatusCode)
+	}
+	var got []StreamBeat
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"error"`)) {
+			t.Fatalf("server error line: %s", line)
+		}
+		if bytes.Contains(line, []byte(`"done"`)) {
+			continue
+		}
+		var b StreamBeat
+		if err := json.Unmarshal(line, &b); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed endpoint emitted %d beats, resumed pipeline %d", len(got), len(want))
+	}
+	for i, b := range want {
+		if got[i].Sample != b.Peak || got[i].DetectedAt != b.DetectedAt {
+			t.Fatalf("beat %d: endpoint (%d@%d) != pipeline (%d@%d) — indices must be absolute",
+				i, got[i].Sample, got[i].DetectedAt, b.Peak, b.DetectedAt)
+		}
+	}
+
+	// A malformed header is the client's fault, refused before any compute.
+	for _, h := range []string{"x", "-1", "2.5"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ResumeFromHeader, h)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAPIError(t, resp, http.StatusBadRequest, apierr.CodeBadInput)
+	}
 }
 
 func TestStreamBadChunk(t *testing.T) {

@@ -186,6 +186,51 @@ func (fr *FrameReader) Next(dst []int32) ([]int32, error) {
 	return decodePayload(dst, buf, width, count), nil
 }
 
+// ReadRawFrame reads one binary frame from r into buf (grown as needed,
+// reused when large enough — pass the last returned frame back in to stay
+// allocation-free once warm) and returns the frame's verbatim bytes and its
+// declared sample count WITHOUT decoding the payload — the shape a relay
+// journal needs: raw bytes to replay plus the sample accounting. A clean end
+// of stream on a frame boundary returns io.EOF; anything partial is a typed
+// *FrameError, with whatever bytes were consumed returned so a forwarder can
+// still pass them through verbatim.
+func ReadRawFrame(r io.Reader, buf []byte) (frame []byte, count int, err error) {
+	if cap(buf) < FrameHeaderLen {
+		buf = make([]byte, FrameHeaderLen, 4096)
+	}
+	hdr := buf[:FrameHeaderLen]
+	nh, err := io.ReadFull(r, hdr)
+	if err != nil {
+		if err == io.EOF {
+			return hdr[:0], 0, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return hdr[:nh], 0, &FrameError{"truncated header"}
+		}
+		return hdr[:nh], 0, err
+	}
+	width, count, err := decodeHeader(hdr)
+	if err != nil {
+		return hdr, 0, err
+	}
+	n := payloadSize(width, count)
+	total := FrameHeaderLen + n
+	if cap(buf) < total {
+		grown := make([]byte, total)
+		copy(grown, hdr)
+		buf = grown
+	}
+	frame = buf[:total]
+	np, err := io.ReadFull(r, frame[FrameHeaderLen:])
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return frame[:FrameHeaderLen+np], 0, &FrameError{"truncated payload"}
+		}
+		return frame[:FrameHeaderLen+np], 0, err
+	}
+	return frame, count, nil
+}
+
 // FrameWidth returns the smallest width that represents samples exactly:
 // 1 when every first difference fits int8 (and samples fit int16), 2 when
 // the samples fit int16, 4 otherwise.

@@ -43,6 +43,12 @@ const (
 	ContentTypeSamples = "application/x-rpbeat-samples"
 )
 
+// ResumeFromHeader is the /v1/stream resume handshake: its value is the
+// absolute sample index the request body starts at. A gateway replaying its
+// failover journal sets it so the backend phase-aligns a resumed pipeline
+// with the interrupted one and reports absolute beat indices.
+const ResumeFromHeader = "X-Rpbeat-Resume-From"
+
 // IsSampleContentType reports whether a request Content-Type selects the
 // binary sample transport. Media-type parameters (";charset=..." and
 // friends) are ignored, and matching is case-insensitive, as RFC 9110
