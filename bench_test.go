@@ -266,6 +266,28 @@ func BenchmarkKernel_IntegerClassifierPerBeat(b *testing.B) {
 	}
 }
 
+// BenchmarkKernel_BitembClassifierPerBeat is the binary head on the same
+// window: fused very-sparse projection + threshold + popcount, one scratch
+// reused across beats (the pipeline's calling convention).
+func BenchmarkKernel_BitembClassifierPerBeat(b *testing.B) {
+	r, _, _, ds := benchSetup(b)
+	bm, _, err := r.BitembModel(8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	emb, err := bm.Quantize(fixp.MFLinear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewScratch(emb)
+	w := ds.IntWindow(ds.Test[0], emb.Downsample)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = emb.ClassifyInto(w, s)
+	}
+}
+
 func BenchmarkKernel_FloatClassifierPerBeat(b *testing.B) {
 	_, m, _, ds := benchSetup(b)
 	w := ds.FloatWindow(ds.Test[0], m.Downsample)

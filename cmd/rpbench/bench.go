@@ -10,6 +10,7 @@ package main
 // BENCHMARKS.md for the schema and how each entry maps to the paper).
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"rpbeat/internal/apierr"
+	"rpbeat/internal/bitemb"
 	"rpbeat/internal/catalog"
 	"rpbeat/internal/core"
 	"rpbeat/internal/ecgsyn"
@@ -50,6 +52,7 @@ type benchFile struct {
 	Fleet     fleetBenchBlock   `json:"fleet"`
 	Gateway   gatewayBenchBlock `json:"gateway"`
 	Matrix    matrixBytes       `json:"matrix_bytes"`
+	Heads     headBytes         `json:"head_bytes"`
 }
 
 // benchResult is one testing.Benchmark run.
@@ -117,6 +120,17 @@ type matrixBytes struct {
 	NonZeros int `json:"non_zeros"`
 }
 
+// headBytes records the storage cost of the two classifier heads at the
+// paper configuration (k=8, d=50): the head parameter tables above the
+// projection matrix, and the full serialized binary model each ships as.
+type headBytes struct {
+	K                 int `json:"k"`
+	FuzzyTable        int `json:"fuzzy_table"`
+	BitembTable       int `json:"bitemb_table"`
+	FuzzyModelBinary  int `json:"fuzzy_model_binary"`
+	BitembModelBinary int `json:"bitemb_model_binary"`
+}
+
 // benchModel fabricates a structurally valid model without running the GA:
 // kernel timing is data-independent (the integer pipeline is branch-free
 // except defuzzification), so a random matrix and plausible MF parameters
@@ -139,6 +153,35 @@ func benchEmbedded(r *rng.Rand, k, d, downsample int) (*core.Embedded, error) {
 	return benchModel(r, k, d, downsample).Quantize(fixp.MFLinear)
 }
 
+// benchBitembModel fabricates a structurally valid binary-embedding model
+// without running the GA: a very-sparse projection (the family the head
+// trains over) and a random but consistent threshold/prototype/radius set.
+func benchBitembModel(r *rng.Rand, k, d, downsample int) *core.Model {
+	bp := &bitemb.Params{K: k, Thresholds: make([]int32, k)}
+	for j := range bp.Thresholds {
+		bp.Thresholds[j] = int32(r.Intn(4000) - 2000)
+	}
+	w := bitemb.Words(k)
+	for l := range bp.Protos {
+		bp.Protos[l] = make([]uint64, w)
+		for j := 0; j < k; j++ {
+			if r.Intn(2) == 1 {
+				bp.Protos[l][j/64] |= 1 << uint(j&63)
+			}
+		}
+		bp.Radii[l] = uint16(k)
+	}
+	return &core.Model{
+		Kind: core.KindBitemb, K: k, D: d, Downsample: downsample,
+		P:   rp.NewVerySparse(r, k, d),
+		Bit: bp, AlphaTrain: 0.1, MinARR: 0.97,
+	}
+}
+
+func benchBitembEmbedded(r *rng.Rand, k, d, downsample int) (*core.Embedded, error) {
+	return benchBitembModel(r, k, d, downsample).Quantize(fixp.MFLinear)
+}
+
 // record converts a testing.BenchmarkResult into the JSON row.
 func record(name string, res testing.BenchmarkResult) benchResult {
 	return benchResult{
@@ -150,11 +193,15 @@ func record(name string, res testing.BenchmarkResult) benchResult {
 	}
 }
 
-// benchInput draws one beat-window-sized input of 11-bit ADC counts.
+// benchInput draws one beat-window-sized input of zero-centered 11-bit
+// counts. Centered, not unipolar: the classify kernels run on filtered,
+// baseline-removed windows that oscillate around zero, and the fuzzy head's
+// membership evaluation is data-dependent (segment selection), so an
+// unipolar draw would measure an input distribution the node never sees.
 func benchInput(r *rng.Rand, d int) []int32 {
 	v := make([]int32, d)
 	for i := range v {
-		v[i] = int32(r.Intn(2048))
+		v[i] = int32(r.Intn(2048)) - 1024
 	}
 	return v
 }
@@ -213,23 +260,62 @@ func runJSONBench(dir string) (string, error) {
 	}
 
 	// --- integer classifier per beat (projection + grades + fuzzify +
-	// defuzzify, the paper's per-beat node work after windowing) ---
+	// defuzzify, the paper's per-beat node work after windowing), and the
+	// binary-embedding head's fused project+threshold+popcount kernel on the
+	// same geometry ---
 	{
 		r := rng.New(2)
 		emb, err := benchEmbedded(r, 8, 50, 4)
 		if err != nil {
 			return "", err
 		}
+		bemb, err := benchBitembEmbedded(r, 8, 50, 4)
+		if err != nil {
+			return "", err
+		}
 		v := benchInput(r, 50)
-		u := make([]int32, emb.K)
-		grades := make([]uint16, emb.Cls.GradeBufLen())
+		scr := core.NewScratch(emb)
+		bscr := core.NewScratch(bemb)
+		u := make([]int32, bemb.K)
+		bemb.ProjectIntInto(v, u)
+		code := make([]uint64, bitemb.Words(bemb.K))
 		out.Results = append(out.Results,
 			record("kernel/classify_per_beat_8x50", testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					emb.ClassifyInto(v, u, grades)
+					emb.ClassifyInto(v, scr)
 				}
-			})))
+			})),
+			record("kernel/classify_per_beat_bitemb_8x50", testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bemb.ClassifyInto(v, bscr)
+				}
+			})),
+			record("kernel/bitemb_pack_8", testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bemb.Bit.PackInto(u, code)
+				}
+			})),
+		)
+
+		fm := benchModel(rng.New(2), 8, 50, 4)
+		bm := benchBitembModel(rng.New(2), 8, 50, 4)
+		var fbuf, bbuf bytes.Buffer
+		if err := fm.WriteBinary(&fbuf); err != nil {
+			return "", err
+		}
+		if err := bm.WriteBinary(&bbuf); err != nil {
+			return "", err
+		}
+		out.Heads = headBytes{
+			K:                 8,
+			FuzzyTable:        emb.Cls.TableBytes(),
+			BitembTable:       bemb.Bit.TableBytes(),
+			FuzzyModelBinary:  fbuf.Len(),
+			BitembModelBinary: bbuf.Len(),
+		}
 	}
 
 	// --- end-to-end streaming: Pipeline.Push steady state ---

@@ -10,7 +10,7 @@
 //	rpbench -json                           # write BENCH_<n>.json (see BENCHMARKS.md)
 //
 // Experiments: table1, table2, table3, fig4, fig5, energy, ga, downsample,
-// alpha, record, all.
+// alpha, record, heads, all.
 //
 // Unknown flags, stray arguments and unknown experiment names are errors:
 // rpbench prints a usage message and exits non-zero instead of silently
@@ -30,7 +30,7 @@ import (
 // experimentNames lists the valid -experiment values, in run order.
 var experimentNames = []string{
 	"table1", "table2", "fig4", "fig5", "table3",
-	"energy", "ga", "downsample", "alpha", "record",
+	"energy", "ga", "downsample", "alpha", "record", "heads",
 }
 
 func usage() {
@@ -42,7 +42,7 @@ func usage() {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which experiment to run (table1|table2|table3|fig4|fig5|energy|ga|downsample|alpha|record|all)")
+		exp      = flag.String("experiment", "all", "which experiment to run (table1|table2|table3|fig4|fig5|energy|ga|downsample|alpha|record|heads|all)")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1 = full Table I composition)")
 		pop      = flag.Int("pop", 20, "GA population size (paper: 20)")
 		gen      = flag.Int("gen", 30, "GA generations (paper: 30)")
@@ -209,6 +209,14 @@ func main() {
 	})
 	run("record", func() error {
 		res, err := r.RecordLevel(6, 300)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+	run("heads", func() error {
+		res, err := r.HeadComparison(nil, 6, 300)
 		if err != nil {
 			return err
 		}

@@ -39,11 +39,20 @@ type serveBenchBlock struct {
 	// WireBytes30s is the uplink size of the same 30 s record in each
 	// transport encoding.
 	WireBytes30s serveWireBytes `json:"wire_bytes_30s"`
+	// Heads is the classifier-head A/B: the same binary-transport 30 s
+	// /v1/classify request pinned to the fuzzy vs the bitemb model on one
+	// server — everything on the wire identical, only the head differs.
+	Heads serveHeadMetrics `json:"heads"`
 }
 
 type serveBatchMetrics struct {
 	JSONReqPerSec   float64 `json:"json_req_per_sec"`
 	BinaryReqPerSec float64 `json:"binary_req_per_sec"`
+}
+
+type serveHeadMetrics struct {
+	FuzzyReqPerSec  float64 `json:"fuzzy_req_per_sec"`
+	BitembReqPerSec float64 `json:"bitemb_req_per_sec"`
 }
 
 type serveStreamRow struct {
@@ -81,6 +90,9 @@ func runServeBench(out *benchFile) error {
 	r := rng.New(6)
 	cat := catalog.New()
 	if _, err := cat.Put("bench", benchModel(r, 8, 50, 4), nil); err != nil {
+		return err
+	}
+	if _, err := cat.Put("benchbit", benchBitembModel(r, 8, 50, 4), nil); err != nil {
 		return err
 	}
 	lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{Name: "srv", Seconds: 30, Seed: 23, PVCRate: 0.1}).Leads[0]
@@ -242,6 +254,37 @@ func runServeBench(out *benchFile) error {
 		out.Serve.Batch = serveBatchMetrics{
 			JSONReqPerSec:   float64(jsonRes.N) / jsonRes.T.Seconds(),
 			BinaryReqPerSec: float64(binRes.N) / binRes.T.Seconds(),
+		}
+
+		// --- head A/B: identical binary request, pinned per head ---
+		pinned := func(ref string) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					resp, err := http.Post(ts.URL+"/v1/classify?model="+ref,
+						wire.ContentTypeSamples, bytes.NewReader(binBody))
+					if err != nil {
+						b.Fatal(err)
+					}
+					raw, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("head bench %s: %d: %s", ref, resp.StatusCode, raw)
+					}
+				}
+			}
+		}
+		fuzzyRes := testing.Benchmark(pinned("bench@v1"))
+		bitRes := testing.Benchmark(pinned("benchbit@v1"))
+		out.Results = append(out.Results,
+			record("serve/classify_30s_head_fuzzy", fuzzyRes),
+			record("serve/classify_30s_head_bitemb", bitRes))
+		out.Serve.Heads = serveHeadMetrics{
+			FuzzyReqPerSec:  float64(fuzzyRes.N) / fuzzyRes.T.Seconds(),
+			BitembReqPerSec: float64(bitRes.N) / bitRes.T.Seconds(),
 		}
 	}
 	return nil

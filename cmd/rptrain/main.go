@@ -7,6 +7,13 @@
 //	rptrain -o model.json                       # paper settings, full data
 //	rptrain -o model.bin -format binary -k 8 -downsample 4
 //	rptrain -o m.json -scale 0.1 -pop 8 -gen 10 # quick run on reduced data
+//	rptrain -o bin.bin -format binary -head bitemb   # packed 1-bit head
+//
+// -head selects the classifier head: "fuzzy" (the paper's neuro-fuzzy
+// decision rule) or "bitemb" (binary adaptive embeddings: thresholded
+// projections packed to 1 bit/coefficient, classified by Hamming
+// distance to per-class prototypes — smaller models, popcount-speed
+// classification).
 //
 // Alongside the model, rptrain writes a manifest sidecar
 // (<out-minus-ext>.manifest.json) carrying the model's SHA-256 digest and
@@ -34,6 +41,7 @@ func main() {
 	var (
 		out        = flag.String("o", "model.json", "output model path")
 		format     = flag.String("format", "json", "model format: json or binary")
+		head       = flag.String("head", "fuzzy", "classifier head: fuzzy (neuro-fuzzy, the paper's) or bitemb (packed 1-bit embeddings + popcount)")
 		k          = flag.Int("k", 8, "number of projected coefficients")
 		downsample = flag.Int("downsample", 4, "input downsampling factor (1 = 360 Hz, 4 = 90 Hz)")
 		pop        = flag.Int("pop", 20, "GA population (paper: 20)")
@@ -57,15 +65,25 @@ func main() {
 	t2 := ds.CountByClass(ds.Train2)
 	fmt.Printf("dataset: %d beats; train1 %v, train2 %v\n", len(ds.Beats), t1, t2)
 
-	fmt.Printf("training: k=%d downsample=%d GA %dx%d...\n", *k, *downsample, *pop, *gen)
-	m, stats, err := core.Train(ds, core.Config{
+	fmt.Printf("training: head=%s k=%d downsample=%d GA %dx%d...\n", *head, *k, *downsample, *pop, *gen)
+	cfg := core.Config{
 		Coeffs:      *k,
 		Downsample:  *downsample,
 		PopSize:     *pop,
 		Generations: *gen,
 		MinARR:      *minARR,
 		Seed:        *seed,
-	})
+	}
+	var m *core.Model
+	var stats core.TrainStats
+	switch *head {
+	case "fuzzy":
+		m, stats, err = core.Train(ds, cfg)
+	case "bitemb":
+		m, stats, err = core.TrainBitemb(ds, cfg)
+	default:
+		log.Fatalf("unknown head %q (fuzzy|bitemb)", *head)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,291 @@
+package bitemb
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"rpbeat/internal/beatset"
+	"rpbeat/internal/ga"
+	"rpbeat/internal/metrics"
+	"rpbeat/internal/nfc"
+	"rpbeat/internal/rng"
+	"rpbeat/internal/rp"
+)
+
+// Config parameterizes binary-head training. Zero values select the same
+// defaults as the fuzzy methodology where the paper states them (GA 20×30,
+// ARR ≥ 0.97); the projection family is the very-sparse one (density ln(d)/d),
+// the head's speed budget — see rp.NewVerySparse.
+type Config struct {
+	// Coeffs is k, the number of embedding bits; default 8.
+	Coeffs int
+	// Downsample reduces the window rate before projection; default 1.
+	Downsample int
+	// PopSize and Generations configure the GA; defaults 20 and 30.
+	PopSize     int
+	Generations int
+	// MutationRate is the per-element resampling probability; default 0.02.
+	MutationRate float64
+	// MinARR is the abnormal-recognition constraint for α_train; default 0.97.
+	MinARR float64
+	// Seed drives matrix generation and the GA.
+	Seed uint64
+	// Parallel bounds concurrent fitness evaluations; default NumCPU.
+	Parallel int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Coeffs <= 0 {
+		c.Coeffs = 8
+	}
+	if c.Downsample <= 0 {
+		c.Downsample = 1
+	}
+	if c.PopSize <= 0 {
+		c.PopSize = 20
+	}
+	if c.Generations <= 0 {
+		c.Generations = 30
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.02
+	}
+	if c.MinARR <= 0 {
+		c.MinARR = 0.97
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.NumCPU()
+	}
+	return c
+}
+
+// Stats reports what training did, mirroring core.TrainStats.
+type Stats struct {
+	BestFitness  float64
+	History      []float64
+	FitnessEvals int
+	AlphaTrain   float64
+	Train2Point  metrics.Point
+}
+
+// Fit derives the head from integer projections of training beats: each
+// threshold is the median (the adaptive order statistic) of its coefficient,
+// each prototype the per-bit majority vote of its class, and each radius the
+// maximum within-class Hamming distance to the class prototype plus one bit
+// of slack (capped at K) — so in-distribution beats are never radius-
+// rejected, and the gate only fires on codes farther out than anything the
+// class exhibited in training.
+func Fit(proj [][]int32, labels []uint8, k int) (*Params, error) {
+	if len(proj) == 0 {
+		return nil, errors.New("bitemb: empty training projection set")
+	}
+	if len(labels) != len(proj) {
+		return nil, fmt.Errorf("bitemb: %d labels for %d beats", len(labels), len(proj))
+	}
+	p := &Params{K: k, Thresholds: make([]int32, k)}
+
+	// Thresholds: per-coefficient medians over all training beats.
+	col := make([]int32, len(proj))
+	for j := 0; j < k; j++ {
+		for i, u := range proj {
+			if len(u) != k {
+				return nil, fmt.Errorf("bitemb: beat %d has %d coefficients, want %d", i, len(u), k)
+			}
+			col[i] = u[j]
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+		p.Thresholds[j] = col[len(col)/2]
+	}
+
+	// Codes, then per-class majority-bit prototypes.
+	w := Words(k)
+	codes := make([][]uint64, len(proj))
+	flat := make([]uint64, len(proj)*w)
+	for i, u := range proj {
+		codes[i] = flat[i*w : (i+1)*w]
+		p.PackInto(u, codes[i])
+	}
+	var ones [nfc.NumClasses][]int
+	var count [nfc.NumClasses]int
+	for l := range ones {
+		ones[l] = make([]int, k)
+	}
+	for i, code := range codes {
+		l := labels[i]
+		if int(l) >= nfc.NumClasses {
+			return nil, fmt.Errorf("bitemb: label %d out of range", l)
+		}
+		count[l]++
+		for j := 0; j < k; j++ {
+			ones[l][j] += int(code[j/64] >> uint(j&63) & 1)
+		}
+	}
+	for l := 0; l < nfc.NumClasses; l++ {
+		if count[l] == 0 {
+			return nil, fmt.Errorf("bitemb: class %d has no training beats", l)
+		}
+		p.Protos[l] = make([]uint64, w)
+		for j := 0; j < k; j++ {
+			if 2*ones[l][j] >= count[l] {
+				p.Protos[l][j/64] |= 1 << uint(j&63)
+			}
+		}
+	}
+
+	// Radii: max within-class distance + 1 bit of slack, capped at K.
+	for i, code := range codes {
+		f := p.Similarity(code)
+		if d := k - int(f[labels[i]]); d > int(p.Radii[labels[i]]) {
+			p.Radii[labels[i]] = uint16(d)
+		}
+	}
+	for l := range p.Radii {
+		if int(p.Radii[l]) < k {
+			p.Radii[l]++
+		}
+	}
+	return p, p.Validate()
+}
+
+// Evals scores the head over integer projections, producing the shared
+// metrics rows: F is the similarity vector k - dist, so the α machinery
+// (MinAlphaForARR, Pareto, Evaluate) applies to this head unchanged.
+func (p *Params) Evals(proj [][]int32, labels []uint8) []metrics.Eval {
+	code := make([]uint64, Words(p.K))
+	evals := make([]metrics.Eval, len(proj))
+	for i, u := range proj {
+		p.PackInto(u, code)
+		f := p.Similarity(code)
+		evals[i] = metrics.Eval{
+			Label: labels[i],
+			F:     [nfc.NumClasses]float64{float64(f[0]), float64(f[1]), float64(f[2])},
+		}
+	}
+	return evals
+}
+
+// Train runs the two-step methodology with the binary head substituted for
+// the NFC: a GA over very-sparse projection matrices, each candidate scored
+// by fitting the head on training set 1 and measuring the NDR on training
+// set 2 at the smallest α achieving MinARR — structurally identical to
+// core.Train, with Fit replacing the SCG-trained membership functions (and
+// therefore orders of magnitude cheaper per candidate).
+func Train(ds *beatset.Dataset, cfg Config) (*rp.Matrix, *Params, Stats, error) {
+	c := cfg.withDefaults()
+	var stats Stats
+
+	d := ds.Dim(c.Downsample)
+	win1 := intWindows(ds, ds.Train1, c.Downsample)
+	labels1 := ds.Labels(ds.Train1)
+	win2 := intWindows(ds, ds.Train2, c.Downsample)
+	labels2 := ds.Labels(ds.Train2)
+	if len(win1) == 0 || len(win2) == 0 {
+		return nil, nil, stats, errors.New("bitemb: empty training split")
+	}
+
+	score := func(P *rp.Matrix) (*Params, []metrics.Eval, error) {
+		par, err := Fit(projectAll(P, win1), labels1, c.Coeffs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return par, par.Evals(projectAll(P, win2), labels2), nil
+	}
+	fitness := func(P *rp.Matrix) float64 {
+		_, evals, err := score(P)
+		if err != nil {
+			return -2
+		}
+		alpha, achieved, err := metrics.MinAlphaForARR(evals, c.MinARR)
+		if err != nil {
+			return -2
+		}
+		pt, _ := metrics.Evaluate(evals, alpha)
+		if !achieved {
+			return -1 + (pt.ARR - c.MinARR)
+		}
+		return pt.NDR
+	}
+
+	seedRng := rng.New(c.Seed)
+	initial := make([]*rp.Matrix, c.PopSize)
+	for i := range initial {
+		initial[i] = rp.NewVerySparse(seedRng.Split(), c.Coeffs, d)
+	}
+	gaRes, err := ga.Run(initial, ga.Config[*rp.Matrix]{
+		Generations:  c.Generations,
+		MutationRate: c.MutationRate,
+		Fitness:      fitness,
+		Crossover:    crossoverRows,
+		Mutate:       mutateVerySparse,
+		Parallel:     c.Parallel,
+		Seed:         seedRng.Uint64(),
+	})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.BestFitness = gaRes.BestFitness
+	stats.History = gaRes.History
+	stats.FitnessEvals = gaRes.Evaluations
+
+	best := gaRes.Best
+	par, evals, err := score(best)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	alpha, achieved, err := metrics.MinAlphaForARR(evals, c.MinARR)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	if !achieved {
+		return nil, nil, stats, fmt.Errorf("bitemb: final head cannot reach ARR %.3f on training set 2", c.MinARR)
+	}
+	stats.AlphaTrain = alpha
+	stats.Train2Point, _ = metrics.Evaluate(evals, alpha)
+	return best, par, stats, nil
+}
+
+// intWindows extracts the integer windows of the indexed beats — the binary
+// head trains directly in the integer domain the node executes in, so no
+// float/integer calibration gap exists for the thresholds.
+func intWindows(ds *beatset.Dataset, idx []int, downsample int) [][]int32 {
+	out := make([][]int32, len(idx))
+	for i, b := range idx {
+		out[i] = ds.IntWindow(b, downsample)
+	}
+	return out
+}
+
+// projectAll projects every window through P.
+func projectAll(P *rp.Matrix, wins [][]int32) [][]int32 {
+	out := make([][]int32, len(wins))
+	for i, w := range wins {
+		out[i] = P.ProjectInt(w)
+	}
+	return out
+}
+
+// crossoverRows is uniform row crossover, preserving whole coefficients —
+// the same operator the fuzzy methodology uses.
+func crossoverRows(r *rng.Rand, a, b *rp.Matrix) *rp.Matrix {
+	child := a.Clone()
+	for row := 0; row < child.K; row++ {
+		if r.Float64() < 0.5 {
+			copy(child.El[row*child.D:(row+1)*child.D], b.El[row*b.D:(row+1)*b.D])
+		}
+	}
+	return child
+}
+
+// mutateVerySparse resamples each element with the configured probability
+// from the very-sparse distribution, keeping the matrix in its family.
+func mutateVerySparse(r *rng.Rand, m *rp.Matrix, rate float64) *rp.Matrix {
+	out := m.Clone()
+	for i := range out.El {
+		if r.Float64() < rate {
+			out.El[i] = r.LogSparseTrit(out.D)
+		}
+	}
+	return out
+}

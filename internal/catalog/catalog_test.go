@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rpbeat/internal/apierr"
+	"rpbeat/internal/bitemb"
 	"rpbeat/internal/core"
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/rng"
@@ -34,6 +35,29 @@ func fabricate(seed uint64) *core.Model {
 		mf.Sigma[i] = 1 + 20*r.Float64()
 	}
 	return &core.Model{K: k, D: d, Downsample: 1, P: P, MF: mf, AlphaTrain: 0.5, MinARR: 0.97}
+}
+
+// fabricateBitemb is fabricate for the binary-embedding head.
+func fabricateBitemb(seed uint64) *core.Model {
+	r := rng.New(seed)
+	const k, d = 4, 16
+	bp := &bitemb.Params{K: k, Thresholds: make([]int32, k)}
+	for j := range bp.Thresholds {
+		bp.Thresholds[j] = int32(r.Intn(200) - 100)
+	}
+	for l := range bp.Protos {
+		bp.Protos[l] = make([]uint64, bitemb.Words(k))
+		for j := 0; j < k; j++ {
+			if r.Intn(2) == 1 {
+				bp.Protos[l][j/64] |= 1 << uint(j&63)
+			}
+		}
+		bp.Radii[l] = uint16(k)
+	}
+	return &core.Model{
+		Kind: core.KindBitemb, K: k, D: d, Downsample: 1,
+		P: rp.NewVerySparse(r, k, d), Bit: bp, AlphaTrain: 0.5, MinARR: 0.97,
+	}
 }
 
 func wantCode(t *testing.T, err error, code apierr.Code) {
@@ -446,6 +470,58 @@ func TestDirPersistAndReload(t *testing.T) {
 	}
 	if _, err := c3.Snapshot().Resolve("ecg@v1"); !apierr.IsCode(err, apierr.CodeModelNotFound) {
 		t.Fatalf("deleted version survived reload: %v", err)
+	}
+}
+
+// TestDirMixedKindsPersistAndReload holds a directory catalog carrying both
+// head kinds under one name: versions of different kinds coexist, manifests
+// carry the kind through persist/reload, digests are stable, and the
+// reloaded bitemb entry serves a working binary-head Embedded.
+func TestDirMixedKindsPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("ecg", fabricate(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := c.Put("ecg", fabricateBitemb(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Kind != "bitemb" {
+		t.Fatalf("bitemb upload manifest kind = %q", mb.Kind)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c2.Snapshot()
+	e1, err := snap.Resolve("ecg@v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Manifest.Kind != "fuzzy" {
+		t.Fatalf("reloaded v1 kind = %q, want fuzzy", e1.Manifest.Kind)
+	}
+	e2, err := snap.Resolve("ecg@v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Manifest.Kind != "bitemb" {
+		t.Fatalf("reloaded v2 kind = %q, want bitemb", e2.Manifest.Kind)
+	}
+	if e2.Manifest.Digest != mb.Digest {
+		t.Fatal("bitemb digest changed across persist/reload")
+	}
+	if e2.Emb.Kind != core.KindBitemb || e2.Emb.Bit == nil {
+		t.Fatalf("reloaded bitemb entry quantized to kind %v", e2.Emb.Kind)
+	}
+	// The reloaded embedded form classifies without error on a zero window.
+	if d := e2.Emb.Classify(make([]int32, e2.Emb.D)); d < 0 {
+		t.Fatalf("classify returned %v", d)
 	}
 }
 

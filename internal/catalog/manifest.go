@@ -31,8 +31,11 @@ type TrainingInfo struct {
 // trusted from the wire) and provenance. Manifests are what admin endpoints
 // return and what sits next to each model file on disk.
 type Manifest struct {
-	Name       string        `json:"name"`
-	Version    int           `json:"version"`
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// Kind names the classifier head ("fuzzy" or "bitemb"); empty in
+	// manifests written before the field existed, which means fuzzy.
+	Kind       string        `json:"kind,omitempty"`
 	K          int           `json:"k"`
 	D          int           `json:"d"`
 	Downsample int           `json:"downsample"`
@@ -63,7 +66,7 @@ func NewManifest(name string, version int, m *core.Model, tr *TrainingInfo) (Man
 		return Manifest{}, apierr.New(apierr.CodeBadInput, "catalog: invalid model: %v", err)
 	}
 	return Manifest{
-		Name: name, Version: version,
+		Name: name, Version: version, Kind: m.Kind.String(),
 		K: m.K, D: m.D, Downsample: m.Downsample,
 		Digest: hex.EncodeToString(h.Sum(nil)), SizeBytes: cw.n,
 		CreatedAt: time.Now().UTC(),

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 
+	"rpbeat/internal/bitemb"
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/rp"
 )
@@ -31,10 +33,49 @@ type modelJSON struct {
 
 const jsonFormat = "rpbeat-model-v1"
 
-// MarshalJSON implements json.Marshaler for Model.
+// bitembJSON is the on-disk JSON form of a binary-embedding model. Prototype
+// words are 16-digit hex strings: JSON numbers are float64 and cannot carry
+// a uint64 exactly.
+type bitembJSON struct {
+	Format     string                   `json:"format"`
+	K          int                      `json:"k"`
+	D          int                      `json:"d"`
+	Downsample int                      `json:"downsample"`
+	AlphaTrain float64                  `json:"alpha_train"`
+	MinARR     float64                  `json:"min_arr"`
+	P          []int8                   `json:"projection"`
+	Thresholds []int32                  `json:"thresholds"`
+	Protos     [nfc.NumClasses][]string `json:"protos"`
+	Radii      [nfc.NumClasses]uint16   `json:"radii"`
+}
+
+const jsonFormatBitemb = "rpbeat-bitemb-v1"
+
+// MarshalJSON implements json.Marshaler for Model, dispatching on the head
+// kind.
 func (m *Model) MarshalJSON() ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if m.Kind == KindBitemb {
+		j := bitembJSON{
+			Format:     jsonFormatBitemb,
+			K:          m.K,
+			D:          m.D,
+			Downsample: m.Downsample,
+			AlphaTrain: m.AlphaTrain,
+			MinARR:     m.MinARR,
+			P:          m.P.El,
+			Thresholds: m.Bit.Thresholds,
+			Radii:      m.Bit.Radii,
+		}
+		for l := range j.Protos {
+			j.Protos[l] = make([]string, len(m.Bit.Protos[l]))
+			for w, v := range m.Bit.Protos[l] {
+				j.Protos[l][w] = fmt.Sprintf("%016x", v)
+			}
+		}
+		return json.Marshal(j)
 	}
 	return json.Marshal(modelJSON{
 		Format:     jsonFormat,
@@ -49,23 +90,56 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON implements json.Unmarshaler for Model.
+// UnmarshalJSON implements json.Unmarshaler for Model. The format field
+// routes to the head-specific layout.
 func (m *Model) UnmarshalJSON(data []byte) error {
-	var j modelJSON
-	if err := json.Unmarshal(data, &j); err != nil {
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
 		return err
 	}
-	if j.Format != jsonFormat {
-		return fmt.Errorf("core: unknown model format %q", j.Format)
+	switch probe.Format {
+	case jsonFormat:
+		var j modelJSON
+		if err := json.Unmarshal(data, &j); err != nil {
+			return err
+		}
+		*m = Model{
+			Kind: KindFuzzy, K: j.K, D: j.D, Downsample: j.Downsample,
+			AlphaTrain: j.AlphaTrain, MinARR: j.MinARR,
+			P:  &rp.Matrix{K: j.K, D: j.D, El: j.P},
+			MF: &nfc.Params{K: j.K, C: j.Centers, Sigma: j.Sigmas},
+		}
+	case jsonFormatBitemb:
+		var j bitembJSON
+		if err := json.Unmarshal(data, &j); err != nil {
+			return err
+		}
+		bp := &bitemb.Params{K: j.K, Thresholds: j.Thresholds, Radii: j.Radii}
+		for l := range j.Protos {
+			bp.Protos[l] = make([]uint64, len(j.Protos[l]))
+			for w, s := range j.Protos[l] {
+				v, err := strconv.ParseUint(s, 16, 64)
+				if err != nil {
+					return fmt.Errorf("core: bad prototype word %q: %w", s, err)
+				}
+				bp.Protos[l][w] = v
+			}
+		}
+		*m = Model{
+			Kind: KindBitemb, K: j.K, D: j.D, Downsample: j.Downsample,
+			AlphaTrain: j.AlphaTrain, MinARR: j.MinARR,
+			P:   &rp.Matrix{K: j.K, D: j.D, El: j.P},
+			Bit: bp,
+		}
+	default:
+		return fmt.Errorf("core: unknown model format %q", probe.Format)
 	}
-	m.K, m.D, m.Downsample = j.K, j.D, j.Downsample
-	m.AlphaTrain, m.MinARR = j.AlphaTrain, j.MinARR
-	m.P = &rp.Matrix{K: j.K, D: j.D, El: j.P}
-	m.MF = &nfc.Params{K: j.K, C: j.Centers, Sigma: j.Sigmas}
 	return m.Validate()
 }
 
-// Binary model format:
+// Binary model format, version 1 (fuzzy head):
 //
 //	magic   [4]byte "RPBT"
 //	version uint16 (1)
@@ -74,11 +148,30 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 //	packed projection: ceil(k*d/4) bytes (2-bit codes, rp.Pack layout)
 //	centers, sigmas: k*3 float64 each
 //
-// All integers little-endian. The binary form is what a deployment tool
-// would flash to the node (the packed matrix bytes are the exact ROM image).
+// Version 2 (binary embedding head) inserts a kind discriminator after the
+// version and replaces the membership tables with the binary head:
+//
+//	magic   [4]byte "RPBT"
+//	version uint16 (2)
+//	kind    uint16 (1 = bitemb)
+//	k, d, downsample uint16
+//	alphaTrain, minARR float64
+//	packed projection: ceil(k*d/4) bytes
+//	thresholds: k int32
+//	prototypes: 3 × Words(k) uint64
+//	radii: 3 uint16
+//
+// Fuzzy models keep writing version 1 byte-for-byte — their digests are
+// provenance keys the catalog and gateway fan-out verify, so the v1 encoding
+// is frozen. All integers little-endian. The binary form is what a
+// deployment tool would flash to the node (the packed matrix bytes are the
+// exact ROM image).
 var binMagic = [4]byte{'R', 'P', 'B', 'T'}
 
-const binVersion = 1
+const (
+	binVersion       = 1 // fuzzy head
+	binVersionBitemb = 2 // bitemb head, with kind discriminator
+)
 
 // WriteBinary serializes the model in the compact binary format.
 func (m *Model) WriteBinary(w io.Writer) error {
@@ -96,23 +189,46 @@ func (m *Model) WriteBinary(w io.Writer) error {
 		le.PutUint16(u16[:], v)
 		buf.Write(u16[:])
 	}
-	put16(binVersion)
+	if m.Kind == KindBitemb {
+		put16(binVersionBitemb)
+		put16(uint16(KindBitemb))
+	} else {
+		put16(binVersion)
+	}
 	put16(uint16(m.K))
 	put16(uint16(m.D))
 	put16(uint16(m.Downsample))
 	var u64 [8]byte
-	putF := func(v float64) {
-		le.PutUint64(u64[:], math.Float64bits(v))
+	put64 := func(v uint64) {
+		le.PutUint64(u64[:], v)
 		buf.Write(u64[:])
 	}
+	putF := func(v float64) { put64(math.Float64bits(v)) }
 	putF(m.AlphaTrain)
 	putF(m.MinARR)
 	buf.Write(rp.Pack(m.P).Bits)
-	for _, v := range m.MF.C {
-		putF(v)
-	}
-	for _, v := range m.MF.Sigma {
-		putF(v)
+	switch m.Kind {
+	case KindFuzzy:
+		for _, v := range m.MF.C {
+			putF(v)
+		}
+		for _, v := range m.MF.Sigma {
+			putF(v)
+		}
+	case KindBitemb:
+		var u32 [4]byte
+		for _, t := range m.Bit.Thresholds {
+			le.PutUint32(u32[:], uint32(t))
+			buf.Write(u32[:])
+		}
+		for l := 0; l < nfc.NumClasses; l++ {
+			for _, v := range m.Bit.Protos[l] {
+				put64(v)
+			}
+		}
+		for _, r := range m.Bit.Radii {
+			put16(r)
+		}
 	}
 	_, err := w.Write(buf.Bytes())
 	return err
@@ -141,10 +257,7 @@ func ReadBinary(r io.Reader) (*Model, error) {
 	if len(data) > MaxModelBytes {
 		return nil, fmt.Errorf("core: binary model exceeds %d bytes", MaxModelBytes)
 	}
-	if len(data) < 4+2*4+2*8 {
-		return nil, errors.New("core: binary model truncated")
-	}
-	if !bytes.Equal(data[:4], binMagic[:]) {
+	if !bytes.HasPrefix(data, binMagic[:]) {
 		return nil, errors.New("core: bad magic (not an rpbeat model)")
 	}
 	le := binary.LittleEndian
@@ -154,9 +267,35 @@ func ReadBinary(r io.Reader) (*Model, error) {
 		off += 2
 		return v
 	}
+	getF := func() float64 {
+		v := math.Float64frombits(le.Uint64(data[off:]))
+		off += 8
+		return v
+	}
+	if len(data) < off+2 {
+		return nil, errors.New("core: binary model truncated")
+	}
 	version := get16()
-	if version != binVersion {
+	var kind Kind
+	var header int
+	switch version {
+	case binVersion:
+		kind = KindFuzzy
+		header = off + 3*2 + 2*8
+	case binVersionBitemb:
+		if len(data) < off+2 {
+			return nil, errors.New("core: binary model truncated")
+		}
+		if kd := get16(); kd != int(KindBitemb) {
+			return nil, fmt.Errorf("core: unknown model kind %d in binary v2", kd)
+		}
+		kind = KindBitemb
+		header = off + 3*2 + 2*8
+	default:
 		return nil, fmt.Errorf("core: unsupported binary version %d", version)
+	}
+	if len(data) < header {
+		return nil, errors.New("core: binary model truncated")
 	}
 	k, d, down := get16(), get16(), get16()
 	if k == 0 || d == 0 {
@@ -165,16 +304,19 @@ func ReadBinary(r io.Reader) (*Model, error) {
 	if k > MaxDim || d > MaxDim {
 		return nil, fmt.Errorf("core: implausible model dimensions %dx%d (max %d)", k, d, MaxDim)
 	}
-	getF := func() float64 {
-		v := math.Float64frombits(le.Uint64(data[off:]))
-		off += 8
-		return v
-	}
 	alphaTrain := getF()
 	minARR := getF()
 	packedLen := (k*d + 3) / 4
-	need := off + packedLen + 2*k*nfc.NumClasses*8
-	if len(data) < need {
+
+	// Bound the full body length *before* allocating anything sized by the
+	// header: a corrupt header fails here, not in make().
+	var body int
+	if kind == KindFuzzy {
+		body = packedLen + 2*k*nfc.NumClasses*8
+	} else {
+		body = packedLen + 4*k + 8*nfc.NumClasses*bitemb.Words(k) + 2*nfc.NumClasses
+	}
+	if need := off + body; len(data) < need {
 		return nil, fmt.Errorf("core: binary model truncated (%d bytes, need %d)", len(data), need)
 	}
 	packed := &rp.PackedMatrix{K: k, D: d, Bits: data[off : off+packedLen]}
@@ -183,14 +325,36 @@ func ReadBinary(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	mf := nfc.NewParams(k)
-	for i := range mf.C {
-		mf.C[i] = getF()
+	m := &Model{Kind: kind, K: k, D: d, Downsample: down, P: P, AlphaTrain: alphaTrain, MinARR: minARR}
+	switch kind {
+	case KindFuzzy:
+		mf := nfc.NewParams(k)
+		for i := range mf.C {
+			mf.C[i] = getF()
+		}
+		for i := range mf.Sigma {
+			mf.Sigma[i] = getF()
+		}
+		m.MF = mf
+	case KindBitemb:
+		bp := &bitemb.Params{K: k, Thresholds: make([]int32, k)}
+		for i := range bp.Thresholds {
+			bp.Thresholds[i] = int32(le.Uint32(data[off:]))
+			off += 4
+		}
+		w := bitemb.Words(k)
+		for l := 0; l < nfc.NumClasses; l++ {
+			bp.Protos[l] = make([]uint64, w)
+			for j := range bp.Protos[l] {
+				bp.Protos[l][j] = le.Uint64(data[off:])
+				off += 8
+			}
+		}
+		for l := range bp.Radii {
+			bp.Radii[l] = uint16(get16())
+		}
+		m.Bit = bp
 	}
-	for i := range mf.Sigma {
-		mf.Sigma[i] = getF()
-	}
-	m := &Model{K: k, D: d, Downsample: down, P: P, MF: mf, AlphaTrain: alphaTrain, MinARR: minARR}
 	return m, m.Validate()
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"rpbeat/internal/bitemb"
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/rng"
 	"rpbeat/internal/rp"
@@ -29,6 +30,30 @@ func randomModel(r *rng.Rand, k, d, down int) *Model {
 	}
 	return &Model{
 		K: k, D: d, Downsample: down, P: P, MF: mf,
+		AlphaTrain: r.Float64(), MinARR: 0.9 + 0.09*r.Float64(),
+	}
+}
+
+// randomBitembModel fabricates a structurally valid binary-embedding model:
+// very-sparse matrix, random thresholds/prototypes/radii.
+func randomBitembModel(r *rng.Rand, k, d, down int) *Model {
+	bp := &bitemb.Params{K: k, Thresholds: make([]int32, k)}
+	for j := range bp.Thresholds {
+		bp.Thresholds[j] = int32(r.Intn(4000) - 2000)
+	}
+	w := bitemb.Words(k)
+	for l := range bp.Protos {
+		bp.Protos[l] = make([]uint64, w)
+		for j := 0; j < k; j++ {
+			if r.Intn(2) == 1 {
+				bp.Protos[l][j/64] |= 1 << uint(j&63)
+			}
+		}
+		bp.Radii[l] = uint16(r.Intn(k + 1))
+	}
+	return &Model{
+		Kind: KindBitemb, K: k, D: d, Downsample: down,
+		P: rp.NewVerySparse(r, k, d), Bit: bp,
 		AlphaTrain: r.Float64(), MinARR: 0.9 + 0.09*r.Float64(),
 	}
 }
@@ -93,6 +118,102 @@ func TestCodecRoundTripFuzz(t *testing.T) {
 					t.Fatalf("k=%d d=%d: digest drifted across codec round trip", dim.k, dim.d)
 				}
 			}
+		}
+	}
+}
+
+// TestBitembCodecRoundTripFuzz is TestCodecRoundTripFuzz for the binary
+// embedding head: JSON (hex-string prototype words) and binary v2 must each
+// round-trip exactly, with a stable digest across every path, including
+// multi-word prototypes (k > 64).
+func TestBitembCodecRoundTripFuzz(t *testing.T) {
+	r := rng.New(101)
+	dims := []struct{ k, d, down int }{
+		{1, 1, 1}, {8, 50, 4}, {32, 50, 4}, {63, 100, 1}, {64, 100, 1}, {65, 100, 1}, {130, 200, 2},
+	}
+	for round := 0; round < 3; round++ {
+		for _, dim := range dims {
+			m := randomBitembModel(r, dim.k, dim.d, dim.down)
+			wantDigest, err := m.Digest()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			js, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fromJSON Model
+			if err := json.Unmarshal(js, &fromJSON); err != nil {
+				t.Fatal(err)
+			}
+			assertModelsEqual(t, m, &fromJSON)
+
+			var buf bytes.Buffer
+			if err := m.WriteBinary(&buf); err != nil {
+				t.Fatal(err)
+			}
+			fromBin, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertModelsEqual(t, m, fromBin)
+
+			viaDecodeJSON, err := Decode(js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaDecodeBin, err := Decode(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, got := range []*Model{&fromJSON, fromBin, viaDecodeJSON, viaDecodeBin} {
+				dg, err := got.Digest()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dg != wantDigest {
+					t.Fatalf("k=%d d=%d: digest drifted across codec round trip", dim.k, dim.d)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzyDigestStable pins the digest of a deterministic fuzzy model: the
+// v1 binary encoding is frozen (digests are the provenance keys the catalog
+// versions by and the gateway fan-out verifies), so any byte-level change to
+// the fuzzy codec — including an accidental migration to the v2 framing —
+// fails here.
+func TestFuzzyDigestStable(t *testing.T) {
+	m := randomModel(rng.New(1234), 8, 50, 4)
+	got, err := m.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "c612e1a6ad29240b9ab49d42728b00c1931c6a70b7e44e81e965a9f0c7f9b63c"
+	if got != want {
+		t.Fatalf("fuzzy digest drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestBitembUnderV1MagicRejected presents a bitemb payload with its version
+// field patched to 1 — a binary head masquerading under the old fuzzy
+// framing. The decoder must fail cleanly (the v1 layout reads nonsense
+// dimensions and fails bounds or validation), never panic, and never return
+// a usable model.
+func TestBitembUnderV1MagicRejected(t *testing.T) {
+	r := rng.New(55)
+	for trial := 0; trial < 50; trial++ {
+		m := randomBitembModel(r, 8, 50, 4)
+		var buf bytes.Buffer
+		if err := m.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		binary.LittleEndian.PutUint16(data[4:], 1) // lie about the version
+		if got, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Fatalf("trial %d: bitemb payload under v1 framing decoded to %+v", trial, got)
 		}
 	}
 }

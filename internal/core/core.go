@@ -26,6 +26,7 @@ import (
 	"runtime"
 
 	"rpbeat/internal/beatset"
+	"rpbeat/internal/bitemb"
 	"rpbeat/internal/ga"
 	"rpbeat/internal/metrics"
 	"rpbeat/internal/nfc"
@@ -94,34 +95,61 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Model is the trained float classifier: projection matrix, membership
-// functions and training-time operating point.
+// Model is a trained float-level classifier: projection matrix, one head
+// (membership functions for KindFuzzy, binary embedding parameters for
+// KindBitemb) and the training-time operating point.
 type Model struct {
+	Kind       Kind
 	K          int // projected coefficients
 	D          int // input dimensionality (after downsampling)
 	Downsample int // sampling-rate divisor relative to 360 Hz
 	P          *rp.Matrix
-	MF         *nfc.Params
-	AlphaTrain float64 // α chosen on training set 2 for MinARR
+	MF         *nfc.Params    // fuzzy head; nil for KindBitemb
+	Bit        *bitemb.Params // binary head; nil for KindFuzzy
+	AlphaTrain float64        // α chosen on training set 2 for MinARR
 	MinARR     float64
 }
 
 // Validate checks structural consistency.
 func (m *Model) Validate() error {
-	if m.P == nil || m.MF == nil {
-		return errors.New("core: model missing projection or membership functions")
+	if m.P == nil {
+		return errors.New("core: model missing projection")
 	}
 	if err := m.P.Validate(); err != nil {
 		return err
 	}
-	if err := m.MF.Validate(); err != nil {
-		return err
-	}
-	if m.P.K != m.K || m.MF.K != m.K {
-		return fmt.Errorf("core: inconsistent K (%d, P %d, MF %d)", m.K, m.P.K, m.MF.K)
-	}
 	if m.P.D != m.D {
 		return fmt.Errorf("core: inconsistent D (%d vs P %d)", m.D, m.P.D)
+	}
+	switch m.Kind {
+	case KindFuzzy:
+		if m.MF == nil {
+			return errors.New("core: fuzzy model missing membership functions")
+		}
+		if m.Bit != nil {
+			return errors.New("core: fuzzy model carries a binary embedding head")
+		}
+		if err := m.MF.Validate(); err != nil {
+			return err
+		}
+		if m.P.K != m.K || m.MF.K != m.K {
+			return fmt.Errorf("core: inconsistent K (%d, P %d, MF %d)", m.K, m.P.K, m.MF.K)
+		}
+	case KindBitemb:
+		if m.Bit == nil {
+			return errors.New("core: bitemb model missing embedding parameters")
+		}
+		if m.MF != nil {
+			return errors.New("core: bitemb model carries membership functions")
+		}
+		if err := m.Bit.Validate(); err != nil {
+			return err
+		}
+		if m.P.K != m.K || m.Bit.K != m.K {
+			return fmt.Errorf("core: inconsistent K (%d, P %d, bitemb %d)", m.K, m.P.K, m.Bit.K)
+		}
+	default:
+		return fmt.Errorf("core: unknown model kind %d", m.Kind)
 	}
 	return nil
 }

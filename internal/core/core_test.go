@@ -223,6 +223,9 @@ func TestBinaryRoundTrip(t *testing.T) {
 
 func assertModelsEqual(t *testing.T, a, b *Model) {
 	t.Helper()
+	if a.Kind != b.Kind {
+		t.Fatal("kinds differ")
+	}
 	if a.K != b.K || a.D != b.D || a.Downsample != b.Downsample {
 		t.Fatal("dimensions differ")
 	}
@@ -233,6 +236,24 @@ func assertModelsEqual(t *testing.T, a, b *Model) {
 		if a.P.El[i] != b.P.El[i] {
 			t.Fatal("projection differs")
 		}
+	}
+	if a.Kind == KindBitemb {
+		for i := range a.Bit.Thresholds {
+			if a.Bit.Thresholds[i] != b.Bit.Thresholds[i] {
+				t.Fatal("thresholds differ")
+			}
+		}
+		for l := range a.Bit.Protos {
+			for w := range a.Bit.Protos[l] {
+				if a.Bit.Protos[l][w] != b.Bit.Protos[l][w] {
+					t.Fatal("prototypes differ")
+				}
+			}
+		}
+		if a.Bit.Radii != b.Bit.Radii {
+			t.Fatal("radii differ")
+		}
+		return
 	}
 	for i := range a.MF.C {
 		if a.MF.C[i] != b.MF.C[i] || a.MF.Sigma[i] != b.MF.Sigma[i] {

@@ -5,17 +5,20 @@ import (
 	"fmt"
 
 	"rpbeat/internal/beatset"
+	"rpbeat/internal/bitemb"
 	"rpbeat/internal/fixp"
 	"rpbeat/internal/metrics"
 	"rpbeat/internal/nfc"
 	"rpbeat/internal/rp"
 )
 
-// Embedded is the WBSN-ready classifier produced from a trained Model:
-// the 2-bit packed projection matrix, the quantized membership functions
-// and the Q15 defuzzification coefficient. Everything it executes at
+// Embedded is the WBSN-ready classifier produced from a trained Model: the
+// 2-bit packed projection matrix, one integer head (quantized membership
+// functions for KindFuzzy, thresholds + packed prototypes for KindBitemb) and
+// the Q15 defuzzification coefficient. Everything it executes at
 // classification time is integer arithmetic.
 type Embedded struct {
+	Kind       Kind
 	K, D       int
 	Downsample int
 	P          *rp.PackedMatrix
@@ -24,8 +27,12 @@ type Embedded struct {
 	// coefficient instead of d element decodes. It is derived from P by
 	// Quantize; a hand-built Embedded may leave it nil, in which case the
 	// packed kernel is used. Never serialized (P is the ROM image).
-	S   *rp.SparseMatrix
+	S *rp.SparseMatrix
+	// Cls is the quantized fuzzy head; nil for KindBitemb.
 	Cls *fixp.Classifier
+	// Bit is the binary embedding head; nil for KindFuzzy. It needs no
+	// quantization: its thresholds are already in the node's integer units.
+	Bit *bitemb.Params
 	// AlphaTest is the run-time defuzzification coefficient. It starts as
 	// the quantized α_train but can be retuned independently (Sec. III-B:
 	// "it is possible to tune the defuzzification coefficient α_test
@@ -33,39 +40,122 @@ type Embedded struct {
 	AlphaTest fixp.AlphaQ15
 }
 
+// Scratch holds the caller-owned per-beat buffers ClassifyInto writes into.
+// One Scratch serves models of either kind: Grow sizes whichever buffers the
+// model's head needs, never shrinking, so a Scratch can be reused across
+// models of different kinds and dimensions (the Engine's per-stream reuse
+// pattern).
+type Scratch struct {
+	U      []int32  // projected coefficients, K
+	Grades []uint16 // fuzzy membership grades, Cls.GradeBufLen() (fuzzy only)
+	Code   []uint64 // packed embedding bits, bitemb.Words(K) (bitemb only)
+	Pre    []int32  // fused-kernel prefix sums, bitemb.PreLen(S) (bitemb only)
+}
+
+// NewScratch allocates scratch sized for e.
+func NewScratch(e *Embedded) *Scratch {
+	s := &Scratch{}
+	s.Grow(e)
+	return s
+}
+
+// Grow ensures the scratch is large enough for e, reallocating only buffers
+// that are too small.
+func (s *Scratch) Grow(e *Embedded) {
+	if len(s.U) < e.K {
+		s.U = make([]int32, e.K)
+	}
+	if e.Cls != nil {
+		if n := e.Cls.GradeBufLen(); len(s.Grades) < n {
+			s.Grades = make([]uint16, n)
+		}
+	}
+	if e.Bit != nil {
+		if n := bitemb.Words(e.Bit.K); len(s.Code) < n {
+			s.Code = make([]uint64, n)
+		}
+		if e.S != nil {
+			if n := bitemb.PreLen(e.S); len(s.Pre) < n {
+				s.Pre = make([]int32, n)
+			}
+		}
+	}
+}
+
+// MemoryBytes reports the scratch footprint.
+func (s *Scratch) MemoryBytes() int {
+	return 4*len(s.U) + 2*len(s.Grades) + 8*len(s.Code) + 4*len(s.Pre)
+}
+
 // Quantize converts the model for embedded execution with the given
 // membership shape (MFLinear for deployment; MFTriangular and MFGaussianRef
-// exist for the Figure 4/5 comparisons).
+// exist for the Figure 4/5 comparisons). For KindBitemb models the shape is
+// irrelevant — the binary head has no membership functions to quantize — and
+// is ignored.
 func (m *Model) Quantize(kind fixp.MFKind) (*Embedded, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	cls, err := fixp.Quantize(m.MF, kind)
-	if err != nil {
-		return nil, err
-	}
-	return &Embedded{
+	e := &Embedded{
+		Kind:       m.Kind,
 		K:          m.K,
 		D:          m.D,
 		Downsample: m.Downsample,
 		P:          rp.Pack(m.P),
 		S:          rp.NewSparse(m.P),
-		Cls:        cls,
 		AlphaTest:  fixp.AlphaToQ15(m.AlphaTrain),
-	}, nil
+	}
+	switch m.Kind {
+	case KindFuzzy:
+		cls, err := fixp.Quantize(m.MF, kind)
+		if err != nil {
+			return nil, err
+		}
+		e.Cls = cls
+	case KindBitemb:
+		e.Bit = m.Bit
+	}
+	return e, nil
 }
 
 // Validate checks structural consistency.
 func (e *Embedded) Validate() error {
-	if e.P == nil || e.Cls == nil {
-		return errors.New("core: embedded model missing projection or classifier")
+	if e.P == nil {
+		return errors.New("core: embedded model missing projection")
 	}
-	if err := e.Cls.Validate(); err != nil {
-		return err
+	if e.P.K != e.K || e.P.D != e.D {
+		return fmt.Errorf("core: embedded dimensions inconsistent (K=%d D=%d, P %dx%d)",
+			e.K, e.D, e.P.K, e.P.D)
 	}
-	if e.P.K != e.K || e.Cls.K != e.K || e.P.D != e.D {
-		return fmt.Errorf("core: embedded dimensions inconsistent (K=%d D=%d, P %dx%d, cls K=%d)",
-			e.K, e.D, e.P.K, e.P.D, e.Cls.K)
+	switch e.Kind {
+	case KindFuzzy:
+		if e.Cls == nil {
+			return errors.New("core: embedded fuzzy model missing classifier")
+		}
+		if e.Bit != nil {
+			return errors.New("core: embedded fuzzy model carries a binary head")
+		}
+		if err := e.Cls.Validate(); err != nil {
+			return err
+		}
+		if e.Cls.K != e.K {
+			return fmt.Errorf("core: classifier K=%d does not match K=%d", e.Cls.K, e.K)
+		}
+	case KindBitemb:
+		if e.Bit == nil {
+			return errors.New("core: embedded bitemb model missing head")
+		}
+		if e.Cls != nil {
+			return errors.New("core: embedded bitemb model carries a fuzzy classifier")
+		}
+		if err := e.Bit.Validate(); err != nil {
+			return err
+		}
+		if e.Bit.K != e.K {
+			return fmt.Errorf("core: binary head K=%d does not match K=%d", e.Bit.K, e.K)
+		}
+	default:
+		return fmt.Errorf("core: unknown embedded model kind %d", e.Kind)
 	}
 	if e.S != nil {
 		if e.S.K != e.K || e.S.D != e.D {
@@ -94,33 +184,54 @@ func (e *Embedded) ProjectIntInto(window []int32, u []int32) {
 
 // Classify runs the integer pipeline on one beat window of int32 ADC counts
 // (already downsampled to length D). It allocates scratch per call; hot
-// paths should hold buffers and use ClassifyInto.
+// paths should hold a Scratch and use ClassifyInto.
 func (e *Embedded) Classify(window []int32) nfc.Decision {
-	return e.ClassifyInto(window, make([]int32, e.K), make([]uint16, e.Cls.GradeBufLen()))
+	return e.ClassifyInto(window, NewScratch(e))
 }
 
-// ClassifyInto is Classify with caller-provided scratch — u of length K and
-// grades of length Cls.GradeBufLen() — the zero-allocation per-beat path
-// that pipeline.Pipeline and the serving layer run.
+// ClassifyInto is Classify with caller-provided scratch (sized by Grow) —
+// the zero-allocation per-beat path that pipeline.Pipeline and the serving
+// layer run. It dispatches on the model's head: fuzzification + Q15
+// defuzzification for KindFuzzy, the fused project+threshold+popcount kernel
+// for KindBitemb.
 //
 //rpbeat:allocfree
-func (e *Embedded) ClassifyInto(window []int32, u []int32, grades []uint16) nfc.Decision {
+func (e *Embedded) ClassifyInto(window []int32, s *Scratch) nfc.Decision {
+	if e.Bit != nil {
+		code := s.Code[:bitemb.Words(e.K)]
+		if e.S != nil {
+			return e.Bit.ClassifySparseInto(e.S, window, e.AlphaTest, code, s.Pre)
+		}
+		u := s.U[:e.K]
+		e.P.ProjectIntInto(window, u)
+		return e.Bit.ClassifyInto(u, e.AlphaTest, code)
+	}
+	u := s.U[:e.K]
 	e.ProjectIntInto(window, u)
-	return e.Cls.ClassifyInto(u, e.AlphaTest, grades)
+	return e.Cls.ClassifyInto(u, e.AlphaTest, s.Grades[:e.Cls.GradeBufLen()])
 }
 
 // Evaluate runs the integer pipeline over the indexed beats, returning
 // per-beat fuzzy values (converted to float64 for the shared metrics
-// machinery; ratios are what matters and they carry over exactly).
+// machinery; ratios are what matters and they carry over exactly). For
+// bitemb models F is the similarity vector K - dist, the same values the α
+// calibration was derived over.
 func (e *Embedded) Evaluate(ds *beatset.Dataset, idx []int) []metrics.Eval {
 	labels := ds.Labels(idx)
 	evals := make([]metrics.Eval, len(idx))
-	u := make([]int32, e.K)
-	grades := make([]uint16, e.Cls.GradeBufLen())
+	s := NewScratch(e)
+	u := s.U[:e.K]
 	for i, b := range idx {
 		w := ds.IntWindow(b, e.Downsample)
 		e.ProjectIntInto(w, u)
-		fv := e.Cls.FuzzyValues(u, grades)
+		var fv [nfc.NumClasses]uint32
+		if e.Bit != nil {
+			code := s.Code[:bitemb.Words(e.K)]
+			e.Bit.PackInto(u, code)
+			fv = e.Bit.Similarity(code)
+		} else {
+			fv = e.Cls.FuzzyValues(u, s.Grades[:e.Cls.GradeBufLen()])
+		}
 		evals[i] = metrics.Eval{
 			Label: labels[i],
 			F: [nfc.NumClasses]float64{
@@ -132,10 +243,17 @@ func (e *Embedded) Evaluate(ds *beatset.Dataset, idx []int) []metrics.Eval {
 }
 
 // MemoryBytes reports the data footprint the node must hold: the packed
-// projection matrix plus the MF parameter tables. The host-side sparse
+// projection matrix plus the head's parameter tables. The host-side sparse
 // kernel is not part of it — see HostBytes.
 func (e *Embedded) MemoryBytes() int {
-	return e.P.ByteSize() + e.Cls.TableBytes()
+	n := e.P.ByteSize()
+	if e.Cls != nil {
+		n += e.Cls.TableBytes()
+	}
+	if e.Bit != nil {
+		n += e.Bit.TableBytes()
+	}
+	return n
 }
 
 // HostBytes reports the server-side data footprint: the node tables plus

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"rpbeat/internal/beatset"
+	"rpbeat/internal/bitemb"
+)
+
+// TrainBitemb runs the two-step methodology with the binary adaptive
+// embedding head substituted for the neuro-fuzzy classifier (see
+// internal/bitemb). The SCG fields of Config are ignored — the binary head
+// is derived in closed form from order statistics, not trained by gradient.
+// The returned model is KindBitemb and flows through Quantize, the codec,
+// the catalog and the serving stack like any other.
+func TrainBitemb(ds *beatset.Dataset, cfg Config) (*Model, TrainStats, error) {
+	c := cfg.withDefaults()
+	P, par, bs, err := bitemb.Train(ds, bitemb.Config{
+		Coeffs:       c.Coeffs,
+		Downsample:   c.Downsample,
+		PopSize:      c.PopSize,
+		Generations:  c.Generations,
+		MutationRate: c.MutationRate,
+		MinARR:       c.MinARR,
+		Seed:         c.Seed,
+		Parallel:     c.Parallel,
+	})
+	stats := TrainStats{
+		BestFitness:  bs.BestFitness,
+		History:      bs.History,
+		FitnessEvals: bs.FitnessEvals,
+		AlphaTrain:   bs.AlphaTrain,
+		Train2Point:  bs.Train2Point,
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	m := &Model{
+		Kind:       KindBitemb,
+		K:          c.Coeffs,
+		D:          ds.Dim(c.Downsample),
+		Downsample: c.Downsample,
+		P:          P,
+		Bit:        par,
+		AlphaTrain: bs.AlphaTrain,
+		MinARR:     c.MinARR,
+	}
+	return m, stats, m.Validate()
+}

@@ -78,15 +78,23 @@ func (o Options) coreConfig(k, downsample int) core.Config {
 type Runner struct {
 	Opts Options
 
-	mu     sync.Mutex
-	ds     *beatset.Dataset
-	models map[[2]int]*core.Model // key: {k, downsample}
-	stats  map[[2]int]core.TrainStats
+	mu        sync.Mutex
+	ds        *beatset.Dataset
+	models    map[[2]int]*core.Model // key: {k, downsample}
+	stats     map[[2]int]core.TrainStats
+	bitModels map[[2]int]*core.Model // bitemb head, same keying
+	bitStats  map[[2]int]core.TrainStats
 }
 
 // NewRunner builds a runner with the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{Opts: opts.withDefaults(), models: map[[2]int]*core.Model{}, stats: map[[2]int]core.TrainStats{}}
+	return &Runner{
+		Opts:      opts.withDefaults(),
+		models:    map[[2]int]*core.Model{},
+		stats:     map[[2]int]core.TrainStats{},
+		bitModels: map[[2]int]*core.Model{},
+		bitStats:  map[[2]int]core.TrainStats{},
+	}
 }
 
 // Dataset returns the (lazily built, cached) dataset.

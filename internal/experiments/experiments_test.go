@@ -270,6 +270,61 @@ func TestRunnerCachesModels(t *testing.T) {
 	}
 }
 
+func TestHeadComparisonReduced(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.HeadComparison([]int{8}, 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fuzzy) != 1 || len(res.Bitemb) != 1 {
+		t.Fatalf("row counts: %d fuzzy, %d bitemb", len(res.Fuzzy), len(res.Bitemb))
+	}
+	fz, bt := res.Fuzzy[0], res.Bitemb[0]
+	if fz.K != 8 || bt.K != 8 {
+		t.Fatalf("k: fuzzy %d bitemb %d", fz.K, bt.K)
+	}
+	// Both heads must reach a usable record-level operating point even at
+	// this tiny training scale.
+	for name, row := range map[string]HeadRow{"fuzzy": fz, "bitemb": bt} {
+		if row.NDR < 0.5 || row.NDR > 1 {
+			t.Fatalf("%s NDR %.3f out of plausible range", name, row.NDR)
+		}
+		if row.ARR < 0.6 || row.ARR > 1 {
+			t.Fatalf("%s ARR %.3f out of plausible range", name, row.ARR)
+		}
+	}
+	// The point of the binary head: the model artifact must be much
+	// smaller (1 bit/coefficient + thresholds vs float64 MF tables).
+	if bt.ModelBytes*2 >= fz.ModelBytes {
+		t.Fatalf("bitemb model %d B not meaningfully smaller than fuzzy %d B",
+			bt.ModelBytes, fz.ModelBytes)
+	}
+	if bt.TableBytes >= fz.TableBytes {
+		t.Fatalf("bitemb tables %d B not smaller than fuzzy %d B", bt.TableBytes, fz.TableBytes)
+	}
+	s := res.Render()
+	if !strings.Contains(s, "bitemb") || !strings.Contains(s, "fuzzy") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestFigure5BitembFront(t *testing.T) {
+	r := testRunner(t)
+	res, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bitemb) == 0 {
+		t.Fatal("bitemb front empty")
+	}
+	if _, ok := NDRAtARROnFront(res.Bitemb, 0.9); !ok {
+		t.Fatalf("bitemb front never reaches ARR 0.9: %+v", res.Bitemb)
+	}
+	if s := res.Render(); !strings.Contains(s, "bitemb front") {
+		t.Fatal("render missing bitemb front")
+	}
+}
+
 func TestRecordLevelEndToEnd(t *testing.T) {
 	r := testRunner(t)
 	res, err := r.RecordLevel(3, 120)

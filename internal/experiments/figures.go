@@ -55,11 +55,15 @@ func RenderFigure4(pts []Figure4Point) string {
 
 // --- Figure 5: NDR/ARR Pareto fronts per MF shape ---
 
-// Figure5Result holds one Pareto front per membership shape.
+// Figure5Result holds one Pareto front per membership shape, plus the
+// binary-embedding head's front as the A/B axis: the same α sweep over the
+// popcount head's similarities, so the speed-for-accuracy trade is a
+// measured curve next to the fuzzy shapes.
 type Figure5Result struct {
 	Gaussian   []metrics.Point
 	Linear     []metrics.Point
 	Triangular []metrics.Point
+	Bitemb     []metrics.Point
 }
 
 // Figure5 reproduces the MF-linearization study: one WBSN-configured model
@@ -93,6 +97,16 @@ func (r *Runner) Figure5() (Figure5Result, error) {
 	if res.Triangular, err = front(fixp.MFTriangular); err != nil {
 		return res, err
 	}
+	// The bitemb front: same geometry, packed 1-bit head.
+	bm, _, err := r.BitembModel(8, 4)
+	if err != nil {
+		return res, err
+	}
+	be, err := bm.Quantize(fixp.MFLinear)
+	if err != nil {
+		return res, err
+	}
+	res.Bitemb = metrics.Pareto(metrics.Curve(be.Evaluate(ds, ds.Test), alphas))
 	return res, nil
 }
 
@@ -130,6 +144,7 @@ func (f Figure5Result) Render() string {
 	dump("gaussian", f.Gaussian)
 	dump("linear", f.Linear)
 	dump("triangular", f.Triangular)
+	dump("bitemb", f.Bitemb)
 	return b.String()
 }
 

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"rpbeat/internal/ecgsyn"
+	"rpbeat/internal/core"
 	"rpbeat/internal/fixp"
 	"rpbeat/internal/store"
-	"rpbeat/internal/wbsn"
 )
 
 // RecordLevelResult is the end-to-end (record-driven) evaluation: unlike the
@@ -54,97 +53,24 @@ func (r *Runner) RecordLevel(records int, secondsEach float64) (RecordLevelResul
 	if err != nil {
 		return res, err
 	}
-	node, err := wbsn.NewNode(emb)
+	scores, err := scoreRecords([]*core.Embedded{emb}, r.recordSpecs(records, secondsEach))
 	if err != nil {
 		return res, err
 	}
-
-	var matchedNormals, discardedNormals int
-	var abnormals, recognized int
-	var matched int
-	tol := 18 // +/- 50 ms at 360 Hz
-
-	for rec := 0; rec < records; rec++ {
-		spec := ecgsyn.RecordSpec{
-			Name:    fmt.Sprintf("rl%02d", rec),
-			Seconds: secondsEach,
-			Seed:    r.Opts.Seed + uint64(rec)*7919,
-		}
-		switch rec % 3 {
-		case 0: // mostly normal
-			spec.PVCRate = 0.02
-		case 1: // ectopy-prone
-			spec.PVCRate = 0.18
-		case 2: // LBBB subject
-			spec.LBBB = true
-		}
-		record := ecgsyn.Synthesize(spec)
-		leads := make([][]int32, ecgsyn.NumLeads)
-		for l := range leads {
-			leads[l] = record.Leads[l]
-		}
-		out, err := node.Process(leads)
-		if err != nil {
-			return res, err
-		}
-		res.Records++
-		res.Seconds += record.Duration()
-		res.AnnBeats += len(record.Ann)
-		res.Detected += len(out.Beats)
-		res.ActivationRate += float64(out.DelineatedBeats)
-
-		// Match annotations to detections (each detection used once).
-		used := make([]bool, len(out.Beats))
-		for _, a := range record.Ann {
-			best, bestDiff := -1, tol+1
-			for i, b := range out.Beats {
-				if used[i] {
-					continue
-				}
-				d := b.Sample - a.Sample
-				if d < 0 {
-					d = -d
-				}
-				if d < bestDiff {
-					best, bestDiff = i, d
-				}
-			}
-			isAbnormal := a.Class != ecgsyn.ClassN
-			if isAbnormal {
-				abnormals++
-			}
-			if best < 0 {
-				continue // missed beat: abnormal stays unrecognized
-			}
-			used[best] = true
-			matched++
-			dec := out.Beats[best].Decision
-			if isAbnormal {
-				if dec.Abnormal() {
-					recognized++
-				}
-			} else {
-				matchedNormals++
-				if !dec.Abnormal() {
-					discardedNormals++
-				}
-			}
-		}
-	}
-
+	s := scores[0]
+	res.Records = s.records
+	res.Seconds = s.seconds
+	res.AnnBeats = s.annBeats
+	res.Detected = s.detected
 	if res.AnnBeats > 0 {
-		res.DetectorSensitivity = float64(matched) / float64(res.AnnBeats)
+		res.DetectorSensitivity = float64(s.matched) / float64(res.AnnBeats)
 	}
 	if res.Detected > 0 {
-		res.DetectorPPV = float64(matched) / float64(res.Detected)
-		res.ActivationRate /= float64(res.Detected)
+		res.DetectorPPV = float64(s.matched) / float64(res.Detected)
+		res.ActivationRate = float64(s.delineated) / float64(res.Detected)
 	}
-	if matchedNormals > 0 {
-		res.NDR = float64(discardedNormals) / float64(matchedNormals)
-	}
-	if abnormals > 0 {
-		res.ARR = float64(recognized) / float64(abnormals)
-	}
+	res.NDR = s.ndr()
+	res.ARR = s.arr()
 
 	// Storage scenario: 1 MiB archive, observed beat rate, observed full-
 	// report fraction.

@@ -1,0 +1,147 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"rpbeat/internal/bitemb"
+	"rpbeat/internal/catalog"
+	"rpbeat/internal/core"
+	"rpbeat/internal/rng"
+	"rpbeat/internal/rp"
+	"rpbeat/internal/serve"
+	"rpbeat/internal/wire"
+)
+
+// testBitembModel fabricates a structurally valid binary-embedding model
+// without the GA (the testModel idiom): fixed seed → fixed bytes → one
+// fleet digest.
+func testBitembModel(seed uint64) *core.Model {
+	r := rng.New(seed)
+	const k, d = 8, 50
+	bp := &bitemb.Params{K: k, Thresholds: make([]int32, k)}
+	for j := range bp.Thresholds {
+		bp.Thresholds[j] = int32(r.Intn(4000) - 2000)
+	}
+	for l := range bp.Protos {
+		bp.Protos[l] = make([]uint64, bitemb.Words(k))
+		for j := 0; j < k; j++ {
+			if r.Intn(2) == 1 {
+				bp.Protos[l][j/64] |= 1 << uint(j&63)
+			}
+		}
+		bp.Radii[l] = uint16(k)
+	}
+	return &core.Model{
+		Kind: core.KindBitemb, K: k, D: d, Downsample: 4,
+		P: rp.NewVerySparse(r, k, d), Bit: bp, AlphaTrain: 0.1, MinARR: 0.97,
+	}
+}
+
+func bitembBytes(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := testBitembModel(seed).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// streamPinned runs one /v1/stream?model=ref request and returns the full
+// NDJSON body.
+func streamPinned(t *testing.T, s *gateStack, ref string, frames []byte) []byte {
+	t.Helper()
+	resp, err := s.ts.Client().Post(s.ts.URL+"/v1/stream?model="+ref, wire.ContentTypeSamples,
+		bytes.NewReader(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pinned stream status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGatewayBitembFanoutByteIdentical is the acceptance path for the
+// binary head at fleet scale: a bitemb model uploaded through the gateway
+// fans out to every backend digest-verified (zero gateway changes — it is
+// just another model), and a pinned /v1/stream classifies byte-identically
+// whether the fleet has one backend or three.
+func TestGatewayBitembFanoutByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	data := bitembBytes(t, 9)
+	frames, err := wire.AppendFrame(nil, testLead(30, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bodies := map[int][]byte{}
+	for _, n := range []int{1, 3} {
+		s := newGateStack(t, n, serve.HandlerConfig{}, Config{})
+		s.gw.CheckNow(ctx)
+
+		status, body, _ := postBody(t, s.ts.Client(), http.MethodPost,
+			s.ts.URL+"/v1/models?name=bin", "application/octet-stream", nil, data)
+		if status != http.StatusCreated {
+			s.Close()
+			t.Fatalf("%d backends: upload status %d: %s", n, status, body)
+		}
+		var ur UploadResponse
+		if err := json.Unmarshal(body, &ur); err != nil {
+			t.Fatal(err)
+		}
+		if ur.Ref != "bin@v1" || len(ur.Backends) != n {
+			t.Fatalf("%d backends: upload response %+v", n, ur)
+		}
+		// Every backend holds the model with the fleet digest and the right
+		// kind in its manifest.
+		for _, b := range s.backends {
+			st, detail, _ := postBody(t, b.ts.Client(), http.MethodGet,
+				b.ts.URL+"/v1/models/bin@v1", "", nil, nil)
+			if st != http.StatusOK {
+				t.Fatalf("backend %s missing bin@v1: %d %s", b.instance, st, detail)
+			}
+			var man catalog.Manifest
+			if err := json.Unmarshal(detail, &man); err != nil {
+				t.Fatal(err)
+			}
+			if man.Digest != ur.Digest {
+				t.Fatalf("backend %s digest %s, want %s", b.instance, man.Digest, ur.Digest)
+			}
+			if man.Kind != "bitemb" {
+				t.Fatalf("backend %s manifest kind %q, want bitemb", b.instance, man.Kind)
+			}
+		}
+		// After the fan-out the gateway's divergence check must still pass.
+		s.gw.CheckNow(ctx)
+		for _, b := range s.gw.Status().Backends {
+			if b.Divergent {
+				t.Fatalf("%d backends: %s divergent after bitemb fan-out: %q", n, b.URL, b.LastErr)
+			}
+		}
+
+		bodies[n] = streamPinned(t, s, "bin@v1", frames)
+		s.Close()
+	}
+
+	if len(bodies[1]) == 0 {
+		t.Fatal("empty stream body")
+	}
+	if !bytes.Equal(bodies[1], bodies[3]) {
+		t.Fatalf("pinned bitemb stream diverged between 1 and 3 backends:\n1: %s\n3: %s",
+			bodies[1], bodies[3])
+	}
+	// Sanity: the identical bodies actually classified beats.
+	if !bytes.Contains(bodies[1], []byte(`"done":true`)) || bytes.Contains(bodies[1], []byte(`"beats":0`)) {
+		t.Fatalf("stream summary suspicious: %s", bodies[1])
+	}
+}

@@ -111,6 +111,119 @@ func TestEngineMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestEngineMixedKinds runs a fuzzy-head and a bitemb-head model on one
+// engine concurrently — streams pinned to different kinds share the worker
+// pool and its pooled chunk buffers — and holds each stream beat-exact
+// against a sequential single-pipeline run of its own model. Under -race
+// (CI) this is also the mixed-fleet race test: the per-stream Scratch must
+// never be shared across kinds. Mid-run it deletes the bitemb version from
+// the catalog to confirm the pin semantics are kind-independent.
+func TestEngineMixedKinds(t *testing.T) {
+	fuzzyEmb := testModel(t)
+	bitEmb := testBitembModel(t)
+	cat := catalog.New()
+	if _, err := cat.Put("fz", testFloatModel(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Put("bin", testBitembFloatModel(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	man, err := cat.Snapshot().Resolve("bin@v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Manifest.Kind != "bitemb" {
+		t.Fatalf("bin@v1 manifest kind = %q, want bitemb", man.Manifest.Kind)
+	}
+
+	eng := NewEngine(cat, EngineConfig{Workers: 4})
+	defer eng.Close()
+	ctx := context.Background()
+
+	const streams = 4
+	type result struct{ got, want []BeatResult }
+	results := make([]result, streams)
+	var deleted sync.Once
+	var opened sync.WaitGroup // all streams open before the delete fires
+	opened.Add(streams)
+
+	var wg sync.WaitGroup
+	for si := 0; si < streams; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			emb, model := fuzzyEmb, "fz@v1"
+			if si%2 == 1 {
+				emb, model = bitEmb, "bin@v1"
+			}
+			lead := ecgsyn.Synthesize(ecgsyn.RecordSpec{
+				Name: "mix", Seconds: 30, Seed: uint64(500 + si), PVCRate: 0.1,
+			}).Leads[0]
+
+			pipe, err := New(emb, Config{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, v := range lead {
+				results[si].want = append(results[si].want, pipe.Push(v)...)
+			}
+			results[si].want = append(results[si].want, pipe.Flush()...)
+
+			st, err := eng.Open(ctx, model, Config{}, func(beats []BeatResult) {
+				results[si].got = append(results[si].got, beats...)
+			})
+			opened.Done()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for off := 0; off < len(lead); off += 731 {
+				end := off + 731
+				if end > len(lead) {
+					end = len(lead)
+				}
+				if err := st.Send(ctx, lead[off:end]); err != nil {
+					t.Error(err)
+					return
+				}
+				// Halfway through the first bitemb stream, delete its model:
+				// the pin must keep serving it regardless of head kind.
+				if si == 1 && off > len(lead)/2 {
+					deleted.Do(func() {
+						opened.Wait()
+						if _, err := cat.Delete("bin", 1); err != nil {
+							t.Error(err)
+						}
+					})
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Error(err)
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	for si, r := range results {
+		if len(r.want) == 0 {
+			t.Fatalf("stream %d: no beats at all", si)
+		}
+		if len(r.got) != len(r.want) {
+			t.Fatalf("stream %d: engine emitted %d beats, sequential %d", si, len(r.got), len(r.want))
+		}
+		for i := range r.want {
+			if r.got[i] != r.want[i] {
+				t.Fatalf("stream %d beat %d: engine %+v != sequential %+v", si, i, r.got[i], r.want[i])
+			}
+		}
+	}
+	// The deleted bitemb version stays gone for new opens.
+	if _, err := eng.Open(ctx, "bin@v1", Config{}, nil); !apierr.IsCode(err, apierr.CodeModelNotFound) {
+		t.Fatalf("open of deleted bitemb version: %v", err)
+	}
+}
+
 func TestEngineStreamLifecycle(t *testing.T) {
 	eng := NewEngine(testCatalog(t, "only"), EngineConfig{Workers: 2})
 	ctx := context.Background()

@@ -128,8 +128,7 @@ type Pipeline struct {
 
 	window []int32 // scratch: assembled beat window
 	ds     []int32 // scratch: downsampled window
-	u      []int32 // scratch: projected coefficients
-	grades []uint16
+	scr    core.Scratch
 	out    []BeatResult
 }
 
@@ -157,9 +156,8 @@ func New(emb *core.Embedded, cfg Config) (*Pipeline, error) {
 		det:    det,
 		window: make([]int32, c.Before+c.After),
 		ds:     make([]int32, emb.D),
-		u:      make([]int32, emb.K),
-		grades: make([]uint16, emb.Cls.GradeBufLen()),
 	}
+	p.scr.Grow(emb)
 	// The ring must still hold sample max(0, peak-Before) when a peak
 	// finalizes, at worst Delay() samples after the peak position.
 	p.raw = make([]int32, nextPow2(p.Delay()+c.Before+c.After+64))
@@ -230,7 +228,7 @@ func ResyncWarmup(cfg Config) int {
 // (asserted by TestPipelineBoundedMemory).
 func (p *Pipeline) MemoryBytes() int {
 	return 4*len(p.raw) + p.emb.HostBytes() +
-		4*(len(p.window)+len(p.ds)+len(p.u)) + 2*len(p.grades)
+		4*(len(p.window)+len(p.ds)) + p.scr.MemoryBytes()
 }
 
 // Samples returns how many input samples the pipeline has consumed.
@@ -316,7 +314,7 @@ func (p *Pipeline) classify(pk int) {
 		p.window[i] = p.raw[j&p.rawMask]
 	}
 	sigdsp.DownsampleIntInto(p.ds, p.window, p.emb.Downsample)
-	d := p.emb.ClassifyInto(p.ds, p.u, p.grades)
+	d := p.emb.ClassifyInto(p.ds, &p.scr)
 	// Indices are kept relative internally (ring masks, detector state) and
 	// re-based on emission, so a resumed stream reports absolute positions.
 	p.out = append(p.out, BeatResult{
@@ -367,8 +365,7 @@ type BatchScratch struct {
 	det      peak.Scratch
 	window   []int32
 	ds       []int32
-	u        []int32
-	grades   []uint16
+	cls      core.Scratch
 	beats    []BeatResult
 }
 
@@ -415,12 +412,7 @@ func BatchClassifyInto(ctx context.Context, emb *core.Embedded, lead []int32, cf
 
 	s.window = growInt32(s.window, c.Before+c.After)[:c.Before+c.After]
 	s.ds = growInt32(s.ds, emb.D)[:emb.D]
-	s.u = growInt32(s.u, emb.K)[:emb.K]
-	if n := emb.Cls.GradeBufLen(); cap(s.grades) < n {
-		s.grades = make([]uint16, n)
-	} else {
-		s.grades = s.grades[:n]
-	}
+	s.cls.Grow(emb)
 	s.beats = s.beats[:0]
 	for i, pk := range peaks {
 		if i%classifyCtxStride == classifyCtxStride-1 {
@@ -430,7 +422,7 @@ func BatchClassifyInto(ctx context.Context, emb *core.Embedded, lead []int32, cf
 		}
 		sigdsp.WindowIntInto(s.window, lead, pk, c.Before)
 		sigdsp.DownsampleIntInto(s.ds, s.window, emb.Downsample)
-		d := emb.ClassifyInto(s.ds, s.u, s.grades)
+		d := emb.ClassifyInto(s.ds, &s.cls)
 		s.beats = append(s.beats, BeatResult{Peak: pk, Decision: d, DetectedAt: len(lead) - 1})
 	}
 	return s.beats, nil

@@ -16,6 +16,11 @@ var (
 	modelFloat *core.Model
 	modelEmb   *core.Embedded
 	modelErr   error
+
+	bitembOnce  sync.Once
+	bitembFloat *core.Model
+	bitembEmb   *core.Embedded
+	bitembErr   error
 )
 
 // testModel trains one small model per test binary (the same reduced-scale
@@ -24,6 +29,40 @@ func testModel(t testing.TB) *core.Embedded {
 	t.Helper()
 	testFloatModel(t)
 	return modelEmb
+}
+
+// testBitembFloatModel trains one small binary-embedding model per test
+// binary — the second head kind the mixed-fleet engine tests serve next to
+// the fuzzy one.
+func testBitembFloatModel(t testing.TB) *core.Model {
+	t.Helper()
+	bitembOnce.Do(func() {
+		ds, err := beatset.Build(beatset.Config{Seed: 31, Scale: 0.03})
+		if err != nil {
+			bitembErr = err
+			return
+		}
+		m, _, err := core.TrainBitemb(ds, core.Config{
+			Coeffs: 8, Downsample: 4, PopSize: 4, Generations: 2,
+			MinARR: 0.9, Seed: 31,
+		})
+		if err != nil {
+			bitembErr = err
+			return
+		}
+		bitembFloat = m
+		bitembEmb, bitembErr = m.Quantize(fixp.MFLinear)
+	})
+	if bitembErr != nil {
+		t.Fatal(bitembErr)
+	}
+	return bitembFloat
+}
+
+func testBitembModel(t testing.TB) *core.Embedded {
+	t.Helper()
+	testBitembFloatModel(t)
+	return bitembEmb
 }
 
 // testFloatModel is the float form of the same model — what catalog.Put

@@ -156,3 +156,44 @@ func (r *Rand) Trit() int8 {
 		return 0
 	}
 }
+
+// VerySparseTrit returns one of {+1, -1, 0} with the Li-Hastie-Church "very
+// sparse" probabilities {1/(2√d), 1/(2√d), 1-1/√d}. It consumes one draw for
+// the zero test plus one for the sign when non-zero; d must be positive.
+func (r *Rand) VerySparseTrit(d int) int8 {
+	if d <= 0 {
+		panic("rng: VerySparseTrit needs d > 0")
+	}
+	if r.Float64()*math.Sqrt(float64(d)) >= 1 {
+		return 0
+	}
+	if r.Intn(2) == 0 {
+		return +1
+	}
+	return -1
+}
+
+// LogSparseTrit returns one of {+1, -1, 0} at the aggressive end of the
+// Li-Hastie-Church very sparse family, s = d/ln(d): non-zero with probability
+// ln(d)/d (half each sign), floored at 1/d so tiny d still draws entries and
+// capped at the Achlioptas 1/3 so it never exceeds the dense-sparse families.
+// d must be positive.
+func (r *Rand) LogSparseTrit(d int) int8 {
+	if d <= 0 {
+		panic("rng: LogSparseTrit needs d > 0")
+	}
+	p := math.Log(float64(d)) / float64(d)
+	if p < 1/float64(d) {
+		p = 1 / float64(d)
+	}
+	if p > 1.0/3 {
+		p = 1.0 / 3
+	}
+	if r.Float64() >= p {
+		return 0
+	}
+	if r.Intn(2) == 0 {
+		return +1
+	}
+	return -1
+}

@@ -1,0 +1,51 @@
+package rp
+
+import "rpbeat/internal/rng"
+
+// NewVerySparse draws a k×d ternary matrix from the "very sparse" random
+// projection family (Li, Hastie, Church, KDD 2006), at the aggressive
+// s = d/ln(d) end of their range: each element is
+//
+//	+1 with probability ln(d)/(2d)
+//	-1 with probability ln(d)/(2d)
+//	 0 otherwise
+//
+// i.e. expected density ln(d)/d instead of the Achlioptas 1/3. For the
+// paper's d = 50 windows that is ~4 non-zeros per coefficient instead of
+// ~17 — the projection cost drops by ~4x. Li et al. show the d/log d regime
+// keeps the Johnson-Lindenstrauss distance estimates consistent when the
+// data are reasonably behaved, which downsampled ECG windows are.
+//
+// This family is what the binary embedding head (internal/bitemb) trains
+// over: its Hamming-distance classifier quantizes every coefficient to one
+// bit anyway, so the 1-bit quantization — not projection fidelity —
+// dominates the distortion budget, and the sparsity budget goes to speed.
+// The accuracy cost is measured, not assumed — see the head-comparison
+// driver in internal/experiments.
+//
+// Rows are rejection-sampled to hold at least two non-zero elements (one
+// when d == 1), so no coefficient (and no embedding bit) hangs off a single
+// sample regardless of how sparse the draw runs.
+func NewVerySparse(r *rng.Rand, k, d int) *Matrix {
+	minNZ := 2
+	if d < 2 {
+		minNZ = d
+	}
+	m := &Matrix{K: k, D: d, El: make([]int8, k*d)}
+	for row := 0; row < k; row++ {
+		el := m.El[row*d : (row+1)*d]
+		for {
+			nonzero := 0
+			for i := range el {
+				el[i] = r.LogSparseTrit(d)
+				if el[i] != 0 {
+					nonzero++
+				}
+			}
+			if nonzero >= minNZ {
+				break
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,42 @@
+package rp
+
+import (
+	"math"
+	"testing"
+
+	"rpbeat/internal/rng"
+)
+
+// TestNewVerySparse checks the family invariants: valid ternary matrices, no
+// all-zero rows (a dead embedding bit), and an empirical density near the
+// 1/√d target.
+func TestNewVerySparse(t *testing.T) {
+	r := rng.New(17)
+	const k, d = 32, 50
+	var nonzero, total int
+	for trial := 0; trial < 20; trial++ {
+		m := NewVerySparse(r, k, d)
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < k; row++ {
+			alive := false
+			for _, e := range m.El[row*d : (row+1)*d] {
+				if e != 0 {
+					alive = true
+					nonzero++
+				}
+			}
+			if !alive {
+				t.Fatalf("trial %d: row %d is all zeros", trial, row)
+			}
+		}
+		total += k * d
+	}
+	want := 1 / math.Sqrt(d)
+	got := float64(nonzero) / float64(total)
+	// Rejection of empty rows biases density up slightly; allow a loose band.
+	if got < 0.5*want || got > 2*want {
+		t.Fatalf("density %.4f far from 1/sqrt(d)=%.4f", got, want)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rpbeat
+
+const raceEnabled = false

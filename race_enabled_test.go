@@ -1,0 +1,9 @@
+//go:build race
+
+package rpbeat
+
+// raceEnabled reports whether this test binary carries race instrumentation.
+// Timing-ratio assertions (TestBitembKernelSpeedupFloor) skip under it: the
+// instrumentation multiplies per-access memory cost unevenly across kernels,
+// so the ratio measured is the instrumentation's, not the kernels'.
+const raceEnabled = true
